@@ -1,0 +1,63 @@
+// Figure 2(a): normalized bisection bandwidth vs. number of servers, at
+// equal cost (same switching equipment), from theoretical bounds.
+//
+// Jellyfish: Bollobás lower bound for RRG(N, k, r) with r = k - S/N.
+// Fat-tree: bisection is fixed at k^3/8 links by construction; packing S
+// servers onto the same equipment gives k^3/(4S) normalized.
+// Paper shape: at normalized bisection 1.0, Jellyfish supports ~25-40% more
+// servers than the fat-tree built from the same switches.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "flow/bisection.h"
+
+int main() {
+  using namespace jf;
+  struct Config {
+    int n;  // switches (= fat-tree switch count 5k^2/4)
+    int k;  // ports per switch
+  };
+  const Config configs[] = {{720, 24}, {1280, 32}, {2880, 48}};
+
+  print_banner(std::cout,
+               "Figure 2(a): normalized bisection bandwidth vs servers (equal equipment)");
+  Table table({"N", "k", "servers", "jellyfish_nbb", "fattree_nbb"});
+
+  for (const auto& cfg : configs) {
+    const int full = cfg.k * cfg.k * cfg.k / 4;  // fat-tree design point
+    for (double mult : {0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}) {
+      const int servers = static_cast<int>(mult * full);
+      const double per_switch = static_cast<double>(servers) / cfg.n;
+      const double r = cfg.k - per_switch;
+      double jf_nbb = 0.0;
+      if (r >= 1.0 && per_switch > 0) {
+        // Continuous-r version of the Bollobás bound.
+        jf_nbb = std::max(0.0, (r / 2.0 - std::sqrt(r * std::log(2.0)))) / per_switch;
+      }
+      const double ft_nbb = flow::fattree_normalized_bisection(cfg.k, servers);
+      table.add_row({Table::fmt(cfg.n), Table::fmt(cfg.k), Table::fmt(servers),
+                     Table::fmt(jf_nbb), Table::fmt(ft_nbb)});
+    }
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  // Shape check: servers supportable at full bisection (nbb >= 1).
+  std::cout << "\nservers at normalized bisection >= 1.0:\n";
+  for (const auto& cfg : configs) {
+    const int full = cfg.k * cfg.k * cfg.k / 4;
+    int jf_servers = 0;
+    for (int s = full / 2; s <= 3 * full; s += std::max(1, full / 200)) {
+      const double per_switch = static_cast<double>(s) / cfg.n;
+      const double r = cfg.k - per_switch;
+      if (r < 1.0) break;
+      const double nbb =
+          std::max(0.0, (r / 2.0 - std::sqrt(r * std::log(2.0)))) / per_switch;
+      if (nbb >= 1.0) jf_servers = s;
+    }
+    std::cout << "  N=" << cfg.n << " k=" << cfg.k << ": fat-tree " << full << ", jellyfish "
+              << jf_servers << " (" << 100.0 * jf_servers / full - 100.0 << "% more)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 7: incremental-expansion cost-efficiency — Jellyfish vs. a
+// LEGUP-style structured-Clos baseline.
+//
+// The paper's arc: initial network of 480 servers and 34 switches; stage 1
+// adds 240 servers plus switches; stages 2+ add switches only; every stage
+// has the same budget and both planners use the same cost model. Paper
+// shape: Jellyfish's bisection bandwidth at each budget is substantially
+// higher — it reaches the baseline's final bandwidth at a fraction
+// (~40-60%) of the cost.
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "expansion/planner.h"
+
+int main() {
+  using namespace jf;
+  expansion::InitialBuild initial;  // 34 switches x 24 ports, 480 servers
+  expansion::CostModel costs;
+
+  // Eight stages; stage 1 must host 720 servers (adds 240), later stages
+  // only add network capacity. Budget per stage ~ a quarter of the initial
+  // build cost (mirrors the paper's equal budget increments).
+  const double stage_budget = 35000.0;
+  std::vector<expansion::ExpansionStage> stages;
+  for (int s = 0; s < 8; ++s) {
+    stages.push_back({stage_budget, s == 0 ? 720 : 0});
+  }
+
+  Rng rng(7077);
+  Rng jf_rng = rng.fork(1), clos_rng = rng.fork(2);
+  auto jf_plan = expansion::plan_jellyfish_expansion(initial, stages, costs, jf_rng);
+  auto clos_plan = expansion::plan_clos_expansion(initial, stages, costs, clos_rng);
+
+  print_banner(std::cout, "Figure 7: bisection bandwidth vs cumulative expansion budget");
+  Table table({"stage", "jf_cost_cum", "jf_servers", "jf_bisection", "clos_cost_cum",
+               "clos_servers", "clos_bisection"});
+  for (std::size_t i = 0; i < jf_plan.stages.size(); ++i) {
+    const auto& j = jf_plan.stages[i];
+    const auto& c = clos_plan.stages[i];
+    table.add_row({Table::fmt(j.stage), Table::fmt(j.cumulative_cost, 0),
+                   Table::fmt(j.servers), Table::fmt(j.normalized_bisection),
+                   Table::fmt(c.cumulative_cost, 0), Table::fmt(c.servers),
+                   Table::fmt(c.normalized_bisection)});
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+
+  // Cost-to-match: what each design pays to reach the Clos baseline's final
+  // bisection bandwidth. Note (DESIGN.md §3): this baseline is an *idealized*
+  // LEGUP — exhaustive search, perfect foresight, no reserved ports — so it
+  // is strictly stronger than the tool the paper measured against; the
+  // paper's "40% of LEGUP's expense" compares against real LEGUP topologies.
+  const double clos_final = clos_plan.stages.back().normalized_bisection;
+  const double clos_cost = clos_plan.stages.back().cumulative_cost;
+  for (const auto& j : jf_plan.stages) {
+    if (j.normalized_bisection >= clos_final) {
+      std::cout << "\nJellyfish reaches the idealized Clos baseline's final bisection ("
+                << clos_final << ") at stage " << j.stage << " ($" << j.cumulative_cost
+                << " vs the baseline's $" << clos_cost << ").\n";
+      break;
+    }
+  }
+  std::cout << "Final bisection at full budget: jellyfish "
+            << jf_plan.stages.back().normalized_bisection << " vs clos " << clos_final
+            << " (" << 100.0 * (jf_plan.stages.back().normalized_bisection / clos_final - 1.0)
+            << "% higher) -- the structured design plateaus once its spine "
+               "saturates, while random expansion keeps converting budget into "
+               "bandwidth.\n";
+  return 0;
+}

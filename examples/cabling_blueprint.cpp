@@ -1,0 +1,41 @@
+// Cabling blueprint generator (paper §6): produce the wiring artifact a
+// deployment crew would follow for a small Jellyfish cluster.
+//
+//   $ ./cabling_blueprint
+//
+// Places all switches in a central cluster (the paper's §6.2 optimization),
+// emits per-cable-run instructions, and summarizes lengths, bundles, and
+// electrical vs optical counts.
+#include <iostream>
+
+#include "core/jellyfish_network.h"
+
+int main() {
+  using jf::core::JellyfishNetwork;
+
+  // A small cluster: 24 racks of 4 servers on 12-port switches.
+  auto net = JellyfishNetwork::build({.switches = 24, .ports = 12, .servers = 96, .seed = 77});
+  std::cout << "cluster: " << net.num_switches() << " ToR switches, " << net.num_servers()
+            << " servers, " << net.num_links() << " inter-switch cables\n\n";
+
+  auto specs = net.cabling_blueprint();
+  auto lines = jf::layout::render_blueprint(specs);
+  std::cout << "blueprint (first 12 of " << lines.size() << " cable runs):\n";
+  for (std::size_t i = 0; i < lines.size() && i < 12; ++i) {
+    std::cout << "  " << lines[i] << "\n";
+  }
+
+  auto stats = net.cabling_stats();
+  std::cout << "\nsummary:\n";
+  std::cout << "  switch-switch cables : " << stats.switch_cables << " (mean "
+            << stats.mean_switch_cable_m << " m)\n";
+  std::cout << "  server cables        : " << stats.server_cables << "\n";
+  std::cout << "  total cable length   : " << stats.total_length_m << " m\n";
+  std::cout << "  optical fraction     : " << stats.optical_fraction * 100 << "%\n";
+  std::cout << "  physical bundles     : " << stats.bundles
+            << " (one aggregate per rack + the in-cluster mesh)\n";
+  std::cout << "  material cost        : $" << stats.material_cost << "\n";
+  std::cout << "\nWith every switch in the central cluster, all switch-switch runs stay\n"
+               "within electrical reach -- no transceivers needed at this scale (§6.2).\n";
+  return 0;
+}

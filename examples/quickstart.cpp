@@ -1,0 +1,46 @@
+// Quickstart: build a Jellyfish network, inspect it, grow it, evaluate it.
+//
+//   $ ./quickstart
+//
+// Walks through the core API: construction, path statistics, fluid
+// throughput, incremental expansion, and failure resilience.
+#include <iostream>
+
+#include "core/jellyfish_network.h"
+
+int main() {
+  using jf::core::JellyfishNetwork;
+
+  // 40 switches x 12 ports, 160 servers (4 per switch, network degree 8).
+  auto net = JellyfishNetwork::build({.switches = 40, .ports = 12, .servers = 160, .seed = 7});
+  std::cout << "built: " << net.num_switches() << " switches, " << net.num_servers()
+            << " servers, " << net.num_links() << " inter-switch links\n";
+
+  auto stats = net.path_stats();
+  std::cout << "switch-level paths: mean " << stats.mean << " hops, diameter "
+            << stats.diameter << "\n";
+
+  std::cout << "fluid throughput (random permutation): " << net.throughput(3)
+            << " (1.0 = every NIC saturated)\n";
+  std::cout << "bisection bandwidth (normalized lower bound): " << net.bisection_bandwidth()
+            << "\n";
+
+  // Incremental expansion: two more racks and one network-only switch.
+  net.add_rack(/*ports=*/12, /*servers=*/4);
+  net.add_rack(/*ports=*/12, /*servers=*/4);
+  net.add_switch(/*ports=*/12);
+  std::cout << "after expansion: " << net.num_switches() << " switches, " << net.num_servers()
+            << " servers, throughput " << net.throughput(3) << "\n";
+
+  // Resilience: kill 10% of links.
+  const int failed = net.fail_links(0.10);
+  std::cout << "after failing " << failed << " links: throughput " << net.throughput(3)
+            << "\n";
+
+  // Deployment artifact: cabling summary for the §6.2 switch-cluster layout.
+  auto cables = net.cabling_stats();
+  std::cout << "cabling: " << cables.switch_cables << " switch cables ("
+            << cables.optical_fraction * 100 << "% optical), " << cables.server_cables
+            << " server cables, " << cables.bundles << " bundles\n";
+  return 0;
+}

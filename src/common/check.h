@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking.
+//
+// `check()` enforces conditions that indicate caller bugs (bad arguments,
+// violated API contracts). It throws std::invalid_argument so callers and
+// tests can observe contract violations; it is never compiled out.
+// `ensure()` enforces internal invariants; violations indicate a bug in this
+// library and throw std::logic_error.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace jf {
+
+namespace detail {
+inline std::string locate(std::string_view msg, const std::source_location& loc) {
+  std::string out(msg);
+  out += " [";
+  out += loc.file_name();
+  out += ':';
+  out += std::to_string(loc.line());
+  out += ']';
+  return out;
+}
+}  // namespace detail
+
+// Validates an API precondition. Throws std::invalid_argument on failure.
+inline void check(bool cond, std::string_view msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) throw std::invalid_argument(detail::locate(msg, loc));
+}
+
+// Validates an internal invariant. Throws std::logic_error on failure.
+inline void ensure(bool cond, std::string_view msg,
+                   std::source_location loc = std::source_location::current()) {
+  if (!cond) throw std::logic_error(detail::locate(msg, loc));
+}
+
+}  // namespace jf

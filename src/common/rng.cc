@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace jf {
+
+namespace {
+// SplitMix64: fast, well-distributed mixer used to derive child seeds.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  check(0 <= k && k <= n, "sample_without_replacement: need 0 <= k <= n");
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    int j = uniform_int(i, n - 1);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(stream + 0x1234abcdULL)));
+}
+
+}  // namespace jf

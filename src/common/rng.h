@@ -1,0 +1,80 @@
+// Deterministic random number generation.
+//
+// All randomized algorithms in this library (topology construction, traffic
+// sampling, simulation) take an explicit Rng so experiments are reproducible
+// from a single seed. `fork()` derives statistically independent child
+// streams, which lets parallel experiment arms share one master seed without
+// correlated draws.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Uniform integer in the closed range [lo, hi].
+  int uniform_int(int lo, int hi) {
+    check(lo <= hi, "uniform_int: empty range");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  // Uniform 64-bit value in [0, n). n must be positive.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    check(n > 0, "uniform_index: n must be positive");
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    check(lo <= hi, "uniform_real: empty range");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  double exponential(double rate) {
+    check(rate > 0, "exponential: rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Picks a uniform element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    check(!v.empty(), "pick: empty vector");
+    return v[uniform_index(v.size())];
+  }
+
+  // Returns a random k-subset of {0, ..., n-1} (partial Fisher-Yates).
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  // A derived, independent stream. Child streams with distinct `stream`
+  // values are decorrelated from each other and from the parent.
+  Rng fork(std::uint64_t stream) const;
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jf

@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace jf {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double sq = 0.0;
+  for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(sq / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  check(!xs.empty(), "percentile: empty sample");
+  check(0.0 <= p && p <= 100.0, "percentile: p must be in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+double jain_fairness(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sq);
+}
+
+std::map<int, std::size_t> int_histogram(std::span<const int> xs) {
+  std::map<int, std::size_t> h;
+  for (int x : xs) ++h[x];
+  return h;
+}
+
+std::map<int, double> int_cdf(std::span<const int> xs) {
+  std::map<int, double> cdf;
+  if (xs.empty()) return cdf;
+  auto hist = int_histogram(xs);
+  std::size_t cum = 0;
+  for (const auto& [value, count] : hist) {
+    cum += count;
+    cdf[value] = static_cast<double>(cum) / static_cast<double>(xs.size());
+  }
+  return cdf;
+}
+
+}  // namespace jf

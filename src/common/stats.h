@@ -1,0 +1,36 @@
+// Summary statistics used across the evaluation harness: means, percentiles,
+// Jain's fairness index (paper §5.2, Fig. 13), and distribution helpers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace jf {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes count/mean/stddev/min/max of a sample. Empty input yields zeros.
+Summary summarize(std::span<const double> xs);
+
+// p-th percentile (p in [0, 100]) by nearest-rank on a copy of the data.
+double percentile(std::span<const double> xs, double p);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+// Returns 1.0 for empty or all-zero input.
+double jain_fairness(std::span<const double> xs);
+
+// Histogram of integer-valued observations -> count per value.
+std::map<int, std::size_t> int_histogram(std::span<const int> xs);
+
+// Fraction of observations <= each distinct value (a CDF over int values).
+std::map<int, double> int_cdf(std::span<const int> xs);
+
+}  // namespace jf

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace jf {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  check(!columns_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check(cells.size() == columns_.size(), "Table: cell count != column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt(int v) { return std::to_string(v); }
+std::string Table::fmt(std::size_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) rule += std::string(width[c] + 2, '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "CSV";
+    for (const auto& cell : cells) os << ',' << cell;
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace jf

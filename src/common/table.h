@@ -1,0 +1,38 @@
+// Console table emitter for the benchmark harness. Every bench binary prints
+// the series the paper's tables/figures report; this keeps the format
+// consistent (aligned columns plus machine-greppable CSV lines).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Appends a row; the cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(int v);
+  static std::string fmt(std::size_t v);
+
+  // Writes an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  // Writes CSV lines prefixed with "CSV," for easy extraction.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner, e.g. "== Figure 2(a): ... ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace jf

@@ -1,0 +1,76 @@
+#include "core/jellyfish_network.h"
+
+#include "common/check.h"
+#include "flow/bisection.h"
+#include "flow/throughput.h"
+#include "topo/jellyfish.h"
+
+namespace jf::core {
+
+JellyfishNetwork JellyfishNetwork::build(const Options& opts) {
+  check(opts.switches >= 2, "JellyfishNetwork::build: need >= 2 switches");
+  Rng rng(opts.seed);
+  auto topo =
+      topo::build_jellyfish_with_servers(opts.switches, opts.ports, opts.servers, rng);
+  return JellyfishNetwork(std::move(topo), opts.seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+JellyfishNetwork JellyfishNetwork::wrap(topo::Topology topo, std::uint64_t seed) {
+  return JellyfishNetwork(std::move(topo), seed);
+}
+
+topo::NodeId JellyfishNetwork::add_rack(int ports, int servers) {
+  check(servers >= 1, "add_rack: a rack hosts at least one server");
+  const int degree = ports - servers;
+  return topo::expand_add_switch(topo_, ports, degree, servers, rng_);
+}
+
+topo::NodeId JellyfishNetwork::add_switch(int ports) {
+  return topo::expand_add_switch(topo_, ports, ports, 0, rng_);
+}
+
+int JellyfishNetwork::fail_links(double fraction) {
+  return topo::fail_random_links(topo_, fraction, rng_);
+}
+
+graph::PathLengthStats JellyfishNetwork::path_stats() const {
+  return graph::path_length_stats(topo_.switches());
+}
+
+double JellyfishNetwork::throughput(int samples, const flow::McfOptions& opts) const {
+  return flow::mean_permutation_throughput(topo_, rng_, samples, opts);
+}
+
+double JellyfishNetwork::bisection_bandwidth() const {
+  // Uniform network degree: use the analytic RRG bound; otherwise fall back
+  // to the KL heuristic cut.
+  const auto& g = topo_.switches();
+  bool uniform = true;
+  const int r0 = g.num_nodes() > 0 ? g.degree(0) : 0;
+  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) != r0) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform && g.num_nodes() >= 2 && topo_.num_servers() > 0) {
+    return flow::rrg_normalized_bisection(g.num_nodes(), r0, topo_.num_servers());
+  }
+  return flow::estimated_normalized_bisection(topo_, rng_, /*restarts=*/5);
+}
+
+sim::WorkloadResult JellyfishNetwork::packet_sim(const sim::WorkloadConfig& cfg) const {
+  return sim::run_permutation_workload(topo_, cfg, rng_);
+}
+
+std::vector<layout::CableSpec> JellyfishNetwork::cabling_blueprint() const {
+  auto placement = layout::place(topo_, layout::PlacementStyle::kCentralCluster);
+  return layout::cabling_blueprint(topo_, placement, expansion::CostModel{});
+}
+
+layout::CableStats JellyfishNetwork::cabling_stats() const {
+  auto placement = layout::place(topo_, layout::PlacementStyle::kCentralCluster);
+  return layout::analyze_cabling(topo_, placement, expansion::CostModel{});
+}
+
+}  // namespace jf::core

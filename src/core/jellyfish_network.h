@@ -1,0 +1,92 @@
+// Public facade: one object that builds, grows, and evaluates a Jellyfish
+// data-center network.
+//
+// This is the API downstream users program against (see examples/). It wraps
+// the lower-level libraries — topo (construction/expansion), flow (capacity),
+// routing (path systems), sim (packet-level behavior), layout (cabling) —
+// behind the operations a network operator cares about:
+//
+//   auto net = jf::core::JellyfishNetwork::build({.switches=120, .ports=24,
+//                                                 .servers=960, .seed=7});
+//   net.add_rack(24, 8);                       // incremental expansion
+//   double tput = net.throughput();            // fluid capacity, permutation
+//   auto stats = net.path_stats();             // hops, diameter
+//   auto plan  = net.cabling_blueprint();      // §6 deployment artifacts
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flow/mcf.h"
+#include "graph/algorithms.h"
+#include "layout/cabling.h"
+#include "sim/workload.h"
+#include "topo/topology.h"
+
+namespace jf::core {
+
+class JellyfishNetwork {
+ public:
+  struct Options {
+    int switches = 0;
+    int ports = 0;
+    int servers = 0;          // distributed as evenly as possible
+    std::uint64_t seed = 1;
+  };
+
+  // Samples a Jellyfish (random regular graph) network.
+  static JellyfishNetwork build(const Options& opts);
+
+  // Wraps an existing topology (e.g. for comparisons against baselines).
+  static JellyfishNetwork wrap(topo::Topology topo, std::uint64_t seed);
+
+  const topo::Topology& topology() const { return topo_; }
+  int num_switches() const { return topo_.num_switches(); }
+  int num_servers() const { return topo_.num_servers(); }
+  std::size_t num_links() const { return topo_.switches().num_edges(); }
+
+  // --- incremental expansion (paper §4.2) ---
+
+  // Adds a rack: one ToR switch with `servers` hosts, remaining ports wired
+  // into the fabric via random link swaps. Returns the new switch id.
+  topo::NodeId add_rack(int ports, int servers);
+
+  // Adds a network-only switch (capacity expansion), all ports in-fabric.
+  topo::NodeId add_switch(int ports);
+
+  // Fails a uniform-random fraction of switch-switch links (resilience
+  // studies, Fig. 8). Returns how many links were removed.
+  int fail_links(double fraction);
+
+  // --- evaluation ---
+
+  // Hop-count statistics over switch pairs (Fig. 1(c), Fig. 5).
+  graph::PathLengthStats path_stats() const;
+
+  // Mean normalized throughput over `samples` random permutations under
+  // optimal (fluid multi-commodity) routing; 1.0 = every NIC saturated.
+  double throughput(int samples = 1, const flow::McfOptions& opts = {}) const;
+
+  // Bollobás bisection lower bound if the network degree is uniform, else a
+  // Kernighan-Lin cut estimate. Normalized to server capacity per partition.
+  double bisection_bandwidth() const;
+
+  // Packet-level goodput under the given routing/transport (paper §5).
+  sim::WorkloadResult packet_sim(const sim::WorkloadConfig& cfg) const;
+
+  // --- deployment (paper §6) ---
+
+  // Cable blueprint with the §6.2 central switch-cluster placement.
+  std::vector<layout::CableSpec> cabling_blueprint() const;
+  layout::CableStats cabling_stats() const;
+
+ private:
+  JellyfishNetwork(topo::Topology topo, std::uint64_t seed)
+      : topo_(std::move(topo)), rng_(seed) {}
+
+  topo::Topology topo_;
+  mutable Rng rng_;
+};
+
+}  // namespace jf::core

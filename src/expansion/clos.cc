@@ -1,0 +1,104 @@
+#include "expansion/clos.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace jf::expansion {
+
+bool ClosConfig::feasible() const {
+  if (edge <= 0 || spine <= 0 || down <= 0 || ports <= 0) return false;
+  if (down >= ports) return false;  // needs at least one uplink
+  // Spine port capacity: S*k ports must terminate all E*u uplinks.
+  return edge * up() <= spine * ports;
+}
+
+double ClosConfig::normalized_bisection() const {
+  if (!feasible() || servers() == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(up()) / static_cast<double>(down));
+}
+
+std::map<std::pair<int, int>, int> clos_cables(const ClosConfig& cfg) {
+  std::map<std::pair<int, int>, int> cables;
+  for (int e = 0; e < cfg.edge; ++e) {
+    for (int j = 0; j < cfg.up(); ++j) {
+      const int s = (e * cfg.up() + j) % cfg.spine;
+      ++cables[{e, s}];
+    }
+  }
+  return cables;
+}
+
+std::pair<int, int> cable_delta(const ClosConfig& from, const ClosConfig& to) {
+  auto a = clos_cables(from);
+  auto b = clos_cables(to);
+  int added = 0, removed = 0;
+  for (const auto& [key, count] : b) {
+    auto it = a.find(key);
+    const int have = it == a.end() ? 0 : it->second;
+    added += std::max(0, count - have);
+  }
+  for (const auto& [key, count] : a) {
+    auto it = b.find(key);
+    const int want = it == b.end() ? 0 : it->second;
+    removed += std::max(0, count - want);
+  }
+  return {added, removed};
+}
+
+topo::Topology build_clos(const ClosConfig& cfg) {
+  check(cfg.feasible(), "build_clos: infeasible configuration");
+  graph::Graph g(cfg.switches());
+  // Edge switches are ids [0, E); spines [E, E+S). Parallel cables in the
+  // round-robin assignment are collapsed (the Graph is simple); capacity-
+  // accurate evaluation uses the multiset from clos_cables().
+  for (const auto& [key, count] : clos_cables(cfg)) {
+    const int e = key.first;
+    const int s = cfg.edge + key.second;
+    if (!g.has_edge(e, s)) g.add_edge(e, s);
+  }
+  std::vector<int> ports(static_cast<std::size_t>(cfg.switches()), cfg.ports);
+  std::vector<int> servers(static_cast<std::size_t>(cfg.switches()), 0);
+  for (int e = 0; e < cfg.edge; ++e) servers[e] = cfg.down;
+  return topo::Topology("clos(E=" + std::to_string(cfg.edge) + ",S=" +
+                            std::to_string(cfg.spine) + ",d=" + std::to_string(cfg.down) + ")",
+                        std::move(g), std::move(ports), std::move(servers));
+}
+
+ClosConfig best_clos_upgrade(const ClosConfig& current, int min_servers, double budget,
+                             const CostModel& costs, double* spent) {
+  check(min_servers >= 0, "best_clos_upgrade: negative servers");
+  ClosConfig best = current;
+  double best_spent = 0.0;
+  double best_bisection = current.servers() >= min_servers ? current.normalized_bisection() : -1.0;
+
+  const int k = current.ports;
+  // Upper bound on purchasable switches this stage.
+  const int max_new = static_cast<int>(budget / costs.switch_cost(k));
+  for (int de = 0; de <= max_new; ++de) {
+    for (int ds = 0; de + ds <= max_new; ++ds) {
+      const int e = current.edge + de;
+      const int s = current.spine + ds;
+      for (int d = 1; d < k; ++d) {
+        ClosConfig cand{e, s, d, k};
+        if (!cand.feasible() || cand.servers() < min_servers) continue;
+        const auto [added, removed] = cable_delta(current, cand);
+        const double cost = costs.switch_cost(k) * (de + ds) +
+                            costs.new_cable_cost() * added + costs.detach_cost() * removed;
+        if (cost > budget) continue;
+        const double bis = cand.normalized_bisection();
+        if (bis > best_bisection + 1e-12 ||
+            (std::abs(bis - best_bisection) <= 1e-12 && cost < best_spent)) {
+          best = cand;
+          best_bisection = bis;
+          best_spent = cost;
+        }
+      }
+    }
+  }
+  if (spent != nullptr) *spent = best_spent;
+  return best;
+}
+
+}  // namespace jf::expansion

@@ -1,0 +1,25 @@
+#include "expansion/cost_model.h"
+
+#include "common/check.h"
+
+namespace jf::expansion {
+
+double CostModel::switch_cost(int ports) const {
+  check(ports >= 0, "switch_cost: negative ports");
+  return port_cost * ports;
+}
+
+double CostModel::cable_cost(double length_m) const {
+  check(length_m >= 0, "cable_cost: negative length");
+  double cost = cable_fixed_cost + cable_cost_per_meter * length_m;
+  if (length_m > electrical_limit_m) cost += 2.0 * optical_transceiver_cost;
+  return cost;
+}
+
+double CostModel::new_cable_cost() const {
+  return cable_cost(default_cable_length_m) + rewire_labor_cost;
+}
+
+double CostModel::detach_cost() const { return rewire_labor_cost; }
+
+}  // namespace jf::expansion

@@ -1,0 +1,71 @@
+// Budgeted incremental-expansion planners (paper §4.2, Fig. 7).
+//
+// An expansion arc is a sequence of stages, each with a budget and a number
+// of servers that must be hosted by the end of the stage (the paper's arc:
+// 480 servers + 34 switches initially, +240 servers at stage 1, then
+// switch-only upgrades). Two planners consume the same arc and cost model:
+//
+//   * plan_jellyfish_expansion — buys rack switches for new servers and
+//     network-only switches with the remaining budget, splicing them in with
+//     the paper's random link swaps (2 cables moved per 2 ports added);
+//   * plan_clos_expansion — the LEGUP-style baseline that must keep a legal
+//     folded Clos at every stage (see clos.h).
+//
+// Both report normalized bisection bandwidth per stage, scored by the same
+// Kernighan-Lin estimator, so the Fig. 7 comparison is apples-to-apples.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "expansion/clos.h"
+#include "expansion/cost_model.h"
+#include "topo/topology.h"
+
+namespace jf::expansion {
+
+struct ExpansionStage {
+  double budget = 0.0;  // spend for this stage
+  int min_servers = 0;  // servers that must be hosted after the stage
+};
+
+struct StageResult {
+  int stage = 0;
+  double spent = 0.0;         // actual spend this stage
+  double cumulative_cost = 0.0;
+  int switches = 0;
+  int servers = 0;
+  double normalized_bisection = 0.0;
+  int cables_touched = 0;     // attach + detach operations this stage
+};
+
+struct JellyfishPlan {
+  topo::Topology final_topology;
+  std::vector<StageResult> stages;
+};
+
+struct ClosPlan {
+  ClosConfig final_config;
+  std::vector<StageResult> stages;
+};
+
+// Initial build parameters shared by both planners.
+struct InitialBuild {
+  int switches = 34;
+  int ports_per_switch = 24;
+  int servers = 480;
+};
+
+// Runs the Jellyfish planner over the arc. Rack switches host
+// round(initial servers / initial switches) servers each; surplus budget
+// buys network-only switches wired in by random swaps.
+JellyfishPlan plan_jellyfish_expansion(const InitialBuild& initial,
+                                       const std::vector<ExpansionStage>& stages,
+                                       const CostModel& costs, Rng& rng);
+
+// Runs the Clos baseline over the same arc.
+ClosPlan plan_clos_expansion(const InitialBuild& initial,
+                             const std::vector<ExpansionStage>& stages, const CostModel& costs,
+                             Rng& rng);
+
+}  // namespace jf::expansion

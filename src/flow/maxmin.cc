@@ -1,0 +1,108 @@
+#include "flow/maxmin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace jf::flow {
+
+LinkIndex::LinkIndex(const graph::Graph& g) : num_nodes_(g.num_nodes()) {
+  base_.resize(static_cast<std::size_t>(num_nodes_));
+  int next = 0;
+  for (const auto& e : g.edges()) {
+    base_[e.a].emplace_back(e.b, next);
+    next += 2;
+    ++num_edges_;
+  }
+}
+
+int LinkIndex::id(graph::NodeId u, graph::NodeId v) const {
+  check(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_ && u != v,
+        "LinkIndex::id: bad endpoints");
+  const graph::NodeId lo = std::min(u, v), hi = std::max(u, v);
+  for (const auto& [nbr, base] : base_[lo]) {
+    if (nbr == hi) return u == lo ? base : base + 1;
+  }
+  check(false, "LinkIndex::id: edge does not exist");
+  return -1;
+}
+
+std::vector<int> LinkIndex::path_links(std::span<const graph::NodeId> path) const {
+  std::vector<int> links;
+  if (path.size() < 2) return links;
+  links.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) links.push_back(id(path[i], path[i + 1]));
+  return links;
+}
+
+std::vector<double> maxmin_fair_rates(int num_links, double link_capacity,
+                                      std::span<const PinnedFlow> flows) {
+  check(num_links >= 0, "maxmin_fair_rates: negative link count");
+  check(link_capacity > 0, "maxmin_fair_rates: capacity must be positive");
+
+  std::vector<double> rate(flows.size(), 0.0);
+  std::vector<char> frozen(flows.size(), 0);
+  std::vector<double> residual(static_cast<std::size_t>(num_links), link_capacity);
+  std::vector<int> active_on_link(static_cast<std::size_t>(num_links), 0);
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (int l : flows[f].links) {
+      check(l >= 0 && l < num_links, "maxmin_fair_rates: link id out of range");
+      ++active_on_link[l];
+    }
+    if (flows[f].links.empty()) {
+      rate[f] = flows[f].rate_cap;  // never crosses the fabric
+      frozen[f] = 1;
+    }
+  }
+
+  // Progressive filling. Each iteration freezes at least one flow (either at
+  // a saturated link's fair share or at its NIC cap), so it terminates in at
+  // most |flows| rounds.
+  while (true) {
+    // The tightest link determines the next fair-share increment.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < num_links; ++l) {
+      if (active_on_link[l] > 0) {
+        best_share = std::min(best_share, residual[l] / active_on_link[l]);
+      }
+    }
+
+    // Flows capped below the link-driven share freeze at their cap first.
+    double next_cap = std::numeric_limits<double>::infinity();
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!frozen[f]) next_cap = std::min(next_cap, flows[f].rate_cap - rate[f]);
+    }
+    if (!std::isfinite(best_share) && !std::isfinite(next_cap)) break;
+
+    const double inc = std::min(best_share, next_cap);
+    bool any_active = false;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!frozen[f]) {
+        rate[f] += inc;
+        any_active = true;
+      }
+    }
+    if (!any_active) break;
+    for (int l = 0; l < num_links; ++l) residual[l] -= inc * active_on_link[l];
+
+    // Freeze flows at saturated links or at their caps.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      bool saturated = rate[f] >= flows[f].rate_cap - 1e-12;
+      for (int l : flows[f].links) {
+        if (residual[l] <= 1e-9) saturated = true;
+      }
+      if (saturated) {
+        frozen[f] = 1;
+        for (int l : flows[f].links) --active_on_link[l];
+      }
+    }
+    if (std::all_of(frozen.begin(), frozen.end(), [](char c) { return c != 0; })) break;
+  }
+  return rate;
+}
+
+}  // namespace jf::flow

@@ -1,0 +1,50 @@
+// Max-min fair rate allocation on fixed paths (progressive filling).
+//
+// A fluid model of what fair congestion control converges to once routing
+// has pinned each (sub)flow to a single path: repeatedly saturate the most
+// constrained link, freeze the flows through it at the fair share, and
+// continue. Used as a fast cross-check of the packet-level simulator and as
+// the fluid model for single-path TCP in large sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jf::flow {
+
+// A flow pinned to one path, expressed as directed link ids (see LinkIndex).
+struct PinnedFlow {
+  std::vector<int> links;
+  double rate_cap = 1.0;  // NIC rate ceiling for this flow
+};
+
+// Dense ids for directed switch-to-switch links: a cable {a,b} yields two
+// directed links (a->b) and (b->a).
+class LinkIndex {
+ public:
+  explicit LinkIndex(const graph::Graph& g);
+
+  // Directed link id for hop u -> v. Precondition: the edge exists.
+  int id(graph::NodeId u, graph::NodeId v) const;
+
+  int num_links() const { return static_cast<int>(2 * num_edges_); }
+
+  // Converts a node path to directed link ids.
+  std::vector<int> path_links(std::span<const graph::NodeId> path) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::size_t num_edges_ = 0;
+  // edge {a<b} -> base id; (a->b) = base, (b->a) = base+1.
+  std::vector<std::vector<std::pair<graph::NodeId, int>>> base_;
+};
+
+// Progressive filling: returns the max-min fair rate of each flow given
+// per-directed-link capacity. Flows with empty paths (intra-rack) get their
+// rate cap.
+std::vector<double> maxmin_fair_rates(int num_links, double link_capacity,
+                                      std::span<const PinnedFlow> flows);
+
+}  // namespace jf::flow

@@ -1,0 +1,53 @@
+// Maximum concurrent multi-commodity flow via Garg-Könemann / Fleischer.
+//
+// The paper measures a topology's raw capacity by solving the splittable
+// multi-commodity flow LP with CPLEX: maximize the fraction lambda such that
+// every commodity ships lambda * demand simultaneously. We replace the
+// proprietary solver with the classic width-independent (1 - eps)
+// approximation: maintain exponential arc lengths, repeatedly route each
+// commodity along its currently-shortest path, and scale the accumulated
+// flow by the worst arc overload. The scaled flow is *feasible by
+// construction* (a certified primal lower bound); a matching dual upper
+// bound D(l)/alpha(l) is tracked so callers can make certified
+// above/below-threshold decisions (used by the binary search for "servers
+// supported at full capacity", Fig. 2(c)/11).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "traffic/traffic.h"
+
+namespace jf::flow {
+
+using traffic::Commodity;
+
+struct McfOptions {
+  double epsilon = 0.08;       // GK accuracy parameter (arc-length growth rate)
+  int max_phases = 250;        // hard cap on commodity sweeps
+  double convergence_tol = 3e-3;  // stop when lambda gains < tol over a window
+  int convergence_window = 10;
+  // When >= 0: stop early once lambda_lower >= threshold (decided above) or
+  // lambda_upper < threshold (decided below).
+  double decide_threshold = -1.0;
+  double link_capacity = 1.0;  // capacity per direction per cable, NIC units
+};
+
+struct McfResult {
+  double lambda = 0.0;        // certified feasible concurrent fraction
+  double lambda_upper = std::numeric_limits<double>::infinity();  // dual bound
+  int phases = 0;
+  bool decided_above = false;  // only with decide_threshold >= 0
+  bool decided_below = false;
+};
+
+// Solves max concurrent flow for switch-level commodities on the switch
+// graph; every cable is two directed arcs of `link_capacity` each.
+// Commodities with zero demand are ignored; an empty commodity set yields
+// lambda = infinity clamped to 1e9.
+McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> commodities,
+                              const McfOptions& opts = {});
+
+}  // namespace jf::flow

@@ -1,0 +1,79 @@
+#include "flow/throughput.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace jf::flow {
+
+double permutation_throughput(const topo::Topology& topo, Rng& rng, const McfOptions& opts) {
+  check(topo.num_servers() >= 2, "permutation_throughput: need >= 2 servers");
+  auto tm = traffic::random_permutation(topo.num_servers(), rng);
+  auto commodities = traffic::to_switch_commodities(topo, tm);
+  auto result = max_concurrent_flow(topo.switches(), commodities, opts);
+  return std::min(1.0, result.lambda);
+}
+
+double mean_permutation_throughput(const topo::Topology& topo, Rng& rng, int samples,
+                                   const McfOptions& opts) {
+  check(samples >= 1, "mean_permutation_throughput: need >= 1 sample");
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) sum += permutation_throughput(topo, rng, opts);
+  return sum / samples;
+}
+
+bool supports_full_capacity(const topo::Topology& topo, Rng& rng, int matrices,
+                            double threshold) {
+  check(matrices >= 1, "supports_full_capacity: need >= 1 matrix");
+  McfOptions opts;
+  opts.decide_threshold = threshold;
+  for (int i = 0; i < matrices; ++i) {
+    auto tm = traffic::random_permutation(topo.num_servers(), rng);
+    auto commodities = traffic::to_switch_commodities(topo, tm);
+    auto result = max_concurrent_flow(topo.switches(), commodities, opts);
+    if (!result.decided_above) return false;
+  }
+  return true;
+}
+
+int max_servers_at_full_capacity(int num_switches, int ports_per_switch, Rng& rng,
+                                 const CapacitySearchOptions& opts) {
+  check(num_switches >= 2 && ports_per_switch >= 3,
+        "max_servers_at_full_capacity: bad equipment");
+
+  auto feasible = [&](int servers) {
+    if (servers < 2) return true;
+    // Fresh topology per candidate, deterministic in (seed, servers).
+    Rng topo_rng = rng.fork(static_cast<std::uint64_t>(servers) * 2 + 1);
+    Rng tm_rng = rng.fork(static_cast<std::uint64_t>(servers) * 2 + 2);
+    auto topo =
+        topo::build_jellyfish_with_servers(num_switches, ports_per_switch, servers, topo_rng);
+    return supports_full_capacity(topo, tm_rng, opts.matrices_per_check, opts.threshold);
+  };
+
+  // Bracket: every switch needs network degree >= 2 to be worth checking, so
+  // servers <= N * (k - 2); the lower end starts at 2 servers.
+  int lo = 2;
+  int hi = num_switches * (ports_per_switch - 2);
+  if (!feasible(lo)) return 0;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (feasible(mid)) lo = mid;
+    else hi = mid - 1;
+  }
+
+  // Confirmation pass on extra matrices (paper re-verifies the returned
+  // count on additional samples); walk down if a sample rejects it.
+  Rng verify_rng = rng.fork(0xfeedULL);
+  while (lo > 2) {
+    Rng topo_rng = rng.fork(static_cast<std::uint64_t>(lo) * 2 + 1);
+    auto topo = topo::build_jellyfish_with_servers(num_switches, ports_per_switch, lo, topo_rng);
+    if (supports_full_capacity(topo, verify_rng, opts.verify_matrices, opts.threshold)) break;
+    --lo;
+  }
+  return lo;
+}
+
+}  // namespace jf::flow

@@ -1,0 +1,44 @@
+// Throughput evaluation under random-permutation traffic (paper §4).
+//
+// Ties topology + traffic + MCF together: sample a permutation, aggregate to
+// switch commodities, solve max concurrent flow, and report normalized
+// per-server throughput = min(1, lambda). Also implements the paper's
+// binary-search protocol for "how many servers can Jellyfish support at full
+// capacity with the same equipment as a fat-tree" (Figs. 2(c) and 11): each
+// candidate count is accepted only if several independently sampled
+// permutation matrices all sustain full rate.
+#pragma once
+
+#include "common/rng.h"
+#include "flow/mcf.h"
+#include "topo/topology.h"
+
+namespace jf::flow {
+
+// Normalized throughput (min(1, lambda)) for one sampled permutation.
+double permutation_throughput(const topo::Topology& topo, Rng& rng,
+                              const McfOptions& opts = {});
+
+// Average normalized throughput over `samples` permutations.
+double mean_permutation_throughput(const topo::Topology& topo, Rng& rng, int samples,
+                                   const McfOptions& opts = {});
+
+// True if `matrices` independently sampled permutations all sustain
+// normalized throughput >= threshold (certified via the MCF dual bound).
+bool supports_full_capacity(const topo::Topology& topo, Rng& rng, int matrices,
+                            double threshold = 0.95);
+
+struct CapacitySearchOptions {
+  int matrices_per_check = 3;   // permutations per candidate server count
+  double threshold = 0.95;      // "full capacity" bar (GK is conservative)
+  int verify_matrices = 3;      // extra samples to confirm the final answer
+};
+
+// Binary search for the maximum number of servers a Jellyfish network built
+// from `num_switches` switches with `ports_per_switch` ports can host at
+// full capacity. A fresh RRG is sampled per candidate (the paper's
+// methodology). Returns 0 if even one server per switch fails.
+int max_servers_at_full_capacity(int num_switches, int ports_per_switch, Rng& rng,
+                                 const CapacitySearchOptions& opts = {});
+
+}  // namespace jf::flow

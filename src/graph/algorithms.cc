@@ -1,0 +1,117 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace jf::graph {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  check(src >= 0 && src < g.num_nodes(), "bfs_distances: bad source");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId s, NodeId t) {
+  check(s >= 0 && s < g.num_nodes() && t >= 0 && t < g.num_nodes(),
+        "shortest_path: bad endpoints");
+  if (s == t) return {s};
+  // BFS from t so the forward walk from s can greedily descend distances,
+  // picking the smallest-id next hop for determinism.
+  std::vector<int> dist_t = bfs_distances(g, t);
+  if (dist_t[s] == kUnreachable) return {};
+  std::vector<NodeId> path{s};
+  NodeId cur = s;
+  while (cur != t) {
+    NodeId next = kUnreachable;
+    for (NodeId v : g.neighbors(cur)) {
+      if (dist_t[v] == dist_t[cur] - 1 && (next == kUnreachable || v < next)) next = v;
+    }
+    ensure(next != kUnreachable, "shortest_path: BFS descent failed");
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d == kUnreachable; });
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (comp[v] == -1) {
+          comp[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+PathLengthStats path_length_stats(const Graph& g) {
+  PathLengthStats stats;
+  stats.connected = true;
+  long double total = 0.0L;
+  std::size_t reachable_pairs = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    auto dist = bfs_distances(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (t == s) continue;
+      if (dist[t] == kUnreachable) {
+        stats.connected = false;
+        continue;
+      }
+      total += dist[t];
+      ++reachable_pairs;
+      stats.diameter = std::max(stats.diameter, dist[t]);
+      ++stats.histogram[dist[t]];
+    }
+  }
+  stats.mean = reachable_pairs > 0 ? static_cast<double>(total / reachable_pairs) : 0.0;
+  return stats;
+}
+
+int diameter(const Graph& g) { return path_length_stats(g).diameter; }
+
+double mean_path_length(const Graph& g) { return path_length_stats(g).mean; }
+
+int reachable_within(const Graph& g, NodeId src, int h) {
+  check(h >= 0, "reachable_within: negative horizon");
+  auto dist = bfs_distances(g, src);
+  int count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v != src && dist[v] != kUnreachable && dist[v] <= h) ++count;
+  }
+  return count;
+}
+
+}  // namespace jf::graph

@@ -1,0 +1,47 @@
+// Shortest-path and connectivity primitives on the switch graph.
+//
+// All distances are hop counts (unit edge weights), matching the paper's
+// path-length analysis (§3 Fig. 1(c), §4.1 Fig. 5).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jf::graph {
+
+inline constexpr int kUnreachable = -1;
+
+// Hop distance from `src` to every node; kUnreachable where disconnected.
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+// One shortest path from s to t as a node sequence (deterministic: parents
+// are chosen by smallest id). Empty if unreachable. s == t yields {s}.
+std::vector<NodeId> shortest_path(const Graph& g, NodeId s, NodeId t);
+
+// True if the graph is connected (vacuously true for <= 1 node).
+bool is_connected(const Graph& g);
+
+// Component id per node, ids dense from 0 in order of discovery.
+std::vector<int> connected_components(const Graph& g);
+
+// Aggregate distance statistics over all ordered pairs of distinct nodes.
+struct PathLengthStats {
+  bool connected = false;   // false => mean/diameter cover reachable pairs only
+  double mean = 0.0;        // mean hop distance over reachable pairs
+  int diameter = 0;         // max hop distance over reachable pairs
+  std::map<int, std::size_t> histogram;  // hop distance -> #ordered pairs
+};
+
+// Runs a BFS per node: O(N * (N + E)).
+PathLengthStats path_length_stats(const Graph& g);
+
+// Convenience wrappers over path_length_stats.
+int diameter(const Graph& g);
+double mean_path_length(const Graph& g);
+
+// Number of nodes whose hop distance from `src` is <= h (excluding src).
+int reachable_within(const Graph& g, NodeId src, int h);
+
+}  // namespace jf::graph

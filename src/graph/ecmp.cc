@@ -1,0 +1,92 @@
+#include "graph/ecmp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace jf::graph {
+
+namespace {
+
+// Depth-first enumeration over the shortest-path DAG induced by distances to
+// t: an edge u->v is in the DAG iff dist_t[v] == dist_t[u] - 1. Neighbors are
+// visited in ascending id order, so enumeration order is lexicographic.
+void enumerate(const Graph& g, NodeId t, const std::vector<int>& dist_t,
+               std::vector<NodeId>& prefix, std::size_t limit,
+               std::vector<std::vector<NodeId>>& out) {
+  if (out.size() >= limit) return;
+  NodeId u = prefix.back();
+  if (u == t) {
+    out.push_back(prefix);
+    return;
+  }
+  std::vector<NodeId> nbrs(g.neighbors(u).begin(), g.neighbors(u).end());
+  std::sort(nbrs.begin(), nbrs.end());
+  for (NodeId v : nbrs) {
+    if (dist_t[v] != dist_t[u] - 1) continue;
+    prefix.push_back(v);
+    enumerate(g, t, dist_t, prefix, limit, out);
+    prefix.pop_back();
+    if (out.size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> equal_cost_paths(const Graph& g, NodeId s, NodeId t,
+                                                  std::size_t limit) {
+  check(s >= 0 && s < g.num_nodes() && t >= 0 && t < g.num_nodes(),
+        "equal_cost_paths: bad endpoints");
+  check(limit >= 1, "equal_cost_paths: limit must be >= 1");
+  if (s == t) return {{s}};
+  auto dist_t = bfs_distances(g, t);
+  if (dist_t[s] == kUnreachable) return {};
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> prefix{s};
+  enumerate(g, t, dist_t, prefix, limit, out);
+  return out;
+}
+
+std::size_t count_shortest_paths(const Graph& g, NodeId s, NodeId t, std::size_t cap) {
+  return equal_cost_paths(g, s, t, cap).size();
+}
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::vector<NodeId> ecmp_walk(const Graph& g, NodeId s, NodeId t, std::uint64_t flow_key,
+                              int width) {
+  check(s >= 0 && s < g.num_nodes() && t >= 0 && t < g.num_nodes(), "ecmp_walk: bad endpoints");
+  check(width >= 1, "ecmp_walk: width must be >= 1");
+  if (s == t) return {s};
+  auto dist_t = bfs_distances(g, t);
+  if (dist_t[s] == kUnreachable) return {};
+
+  std::vector<NodeId> path{s};
+  NodeId u = s;
+  while (u != t) {
+    // Successors on the shortest-path DAG, in id order (hardware installs a
+    // deterministic subset of at most `width` next hops per destination).
+    std::vector<NodeId> succ;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist_t[v] == dist_t[u] - 1) succ.push_back(v);
+    }
+    std::sort(succ.begin(), succ.end());
+    const std::size_t usable = std::min<std::size_t>(succ.size(), static_cast<std::size_t>(width));
+    ensure(usable > 0, "ecmp_walk: DAG descent failed");
+    // Per-hop hash over (flow, current switch), as ECMP hardware computes.
+    const NodeId next = succ[mix64(flow_key ^ (static_cast<std::uint64_t>(u) << 32)) % usable];
+    path.push_back(next);
+    u = next;
+  }
+  return path;
+}
+
+}  // namespace jf::graph

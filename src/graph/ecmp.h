@@ -1,0 +1,38 @@
+// Equal-cost multipath (ECMP) path enumeration.
+//
+// ECMP hardware hashes each flow onto one of the equal-cost *shortest* paths
+// it knows, typically capped per destination (the paper evaluates 8-way and
+// 64-way ECMP, §5.1 Fig. 9). This module enumerates the shortest-path set
+// between two nodes, deterministically and with an enumeration cap, so the
+// routing layer can model w-way ECMP faithfully.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jf::graph {
+
+// Up to `limit` distinct shortest paths from s to t, enumerated in
+// lexicographic order over the BFS shortest-path DAG. Empty if unreachable;
+// {{s}} if s == t.
+std::vector<std::vector<NodeId>> equal_cost_paths(const Graph& g, NodeId s, NodeId t,
+                                                  std::size_t limit);
+
+// Total number of distinct shortest paths from s to t, saturating at `cap`
+// (counting all paths can be exponential; callers only need "how many up to
+// the ECMP width").
+std::size_t count_shortest_paths(const Graph& g, NodeId s, NodeId t, std::size_t cap);
+
+// One ECMP route realized by per-hop hashing, the way w-way ECMP hardware
+// actually forwards: at every switch the flow's hash selects among (up to)
+// `width` next hops that lie on shortest paths to t. Unlike taking the
+// first `width` end-to-end paths, per-hop hashing spreads flows across the
+// whole shortest-path DAG (crucial in Clos fabrics, where one pair has
+// (k/2)^2 equal-cost paths). Deterministic per (graph, flow_key).
+// Returns the node sequence; empty if t is unreachable.
+std::vector<NodeId> ecmp_walk(const Graph& g, NodeId s, NodeId t, std::uint64_t flow_key,
+                              int width);
+
+}  // namespace jf::graph

@@ -1,0 +1,98 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jf::graph {
+
+Graph::Graph(int num_nodes) {
+  check(num_nodes >= 0, "Graph: negative node count");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void Graph::check_node(NodeId v) const {
+  check(v >= 0 && v < num_nodes(), "Graph: node id out of range");
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& small = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const NodeId target = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(small.begin(), small.end(), target) != small.end();
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  check(a != b, "Graph: self-loops are not allowed");
+  check(!has_edge(a, b), "Graph: parallel edges are not allowed");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+  if (!max_degree_dirty_) {
+    max_degree_ = std::max({max_degree_, static_cast<int>(adj_[a].size()),
+                            static_cast<int>(adj_[b].size())});
+  }
+}
+
+void Graph::remove_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  auto erase_one = [](std::vector<NodeId>& list, NodeId x) {
+    auto it = std::find(list.begin(), list.end(), x);
+    check(it != list.end(), "Graph: removing a non-existent edge");
+    *it = list.back();
+    list.pop_back();
+  };
+  erase_one(adj_[a], b);
+  erase_one(adj_[b], a);
+  --num_edges_;
+  max_degree_dirty_ = true;
+}
+
+int Graph::max_degree() const {
+  if (max_degree_dirty_) {
+    max_degree_ = 0;
+    for (const auto& list : adj_) max_degree_ = std::max(max_degree_, static_cast<int>(list.size()));
+    max_degree_dirty_ = false;
+  }
+  return max_degree_;
+}
+
+int Graph::degree(NodeId v) const {
+  check_node(v);
+  return static_cast<int>(adj_[v].size());
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adj_[v];
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    for (NodeId b : adj_[a]) {
+      if (a < b) out.push_back(Edge{a, b});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Edge& x, const Edge& y) { return x.a != y.a ? x.a < y.a : x.b < y.b; });
+  return out;
+}
+
+std::size_t Graph::degree_sum() const {
+  std::size_t sum = 0;
+  for (const auto& list : adj_) sum += list.size();
+  return sum;
+}
+
+}  // namespace jf::graph

@@ -1,0 +1,94 @@
+// Undirected simple graph used to model the switch-to-switch interconnect.
+//
+// Nodes are dense integer ids (0..num_nodes-1); every node typically stands
+// for one top-of-rack switch. The structure supports the operations the
+// Jellyfish construction and expansion procedures need: O(deg) edge lookup,
+// edge insertion/removal, and degree queries. Parallel edges and self-loops
+// are rejected — the paper's RRG model is a simple graph.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jf::graph {
+
+using NodeId = std::int32_t;
+
+// An undirected edge in canonical (a < b) order.
+struct Edge {
+  NodeId a = 0;
+  NodeId b = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Creates a graph with `num_nodes` isolated nodes.
+  explicit Graph(int num_nodes);
+
+  // Appends one isolated node and returns its id.
+  NodeId add_node();
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  // True if the undirected edge {a, b} exists. O(min degree).
+  bool has_edge(NodeId a, NodeId b) const;
+
+  // Inserts {a, b}. Precondition: valid distinct endpoints, edge absent.
+  void add_edge(NodeId a, NodeId b);
+
+  // Removes {a, b}. Precondition: the edge exists.
+  void remove_edge(NodeId a, NodeId b);
+
+  int degree(NodeId v) const;
+
+  // Neighbor list of `v` in insertion order (mutated by removals).
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  // Snapshot of all edges in canonical order, sorted by (a, b).
+  std::vector<Edge> edges() const;
+
+  // Sum of all node degrees / 2 == num_edges(); exposed for invariants.
+  std::size_t degree_sum() const;
+
+  // Uniform-random edge in expected O(max_degree / avg_degree) time via
+  // degree-proportional rejection sampling (the expansion procedures draw
+  // many random edges; materializing edges() each time would be O(E)).
+  // Precondition: the graph has at least one edge.
+  template <typename RngT>
+  Edge random_edge(RngT& rng) const {
+    check(num_edges_ > 0, "random_edge: graph has no edges");
+    const int bound = max_degree();
+    while (true) {
+      const auto v = static_cast<NodeId>(rng.uniform_index(adj_.size()));
+      const auto deg = adj_[v].size();
+      if (deg == 0) continue;
+      // Accept v with probability deg/bound => picks arcs uniformly.
+      if (static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(bound))) >=
+          static_cast<int>(deg)) {
+        continue;
+      }
+      const NodeId u = adj_[v][rng.uniform_index(deg)];
+      return Edge{std::min(v, u), std::max(v, u)};
+    }
+  }
+
+  // Largest node degree (cached; recomputed lazily after removals).
+  int max_degree() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+  mutable int max_degree_ = 0;
+  mutable bool max_degree_dirty_ = false;
+};
+
+}  // namespace jf::graph

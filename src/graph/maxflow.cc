@@ -1,0 +1,120 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace jf::graph {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+FlowNetwork::FlowNetwork(int num_nodes) {
+  check(num_nodes >= 0, "FlowNetwork: negative node count");
+  head_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void FlowNetwork::add_arc(NodeId u, NodeId v, double capacity) {
+  check(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(), "add_arc: bad endpoints");
+  check(capacity >= 0, "add_arc: negative capacity");
+  const int fwd = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{v, capacity, fwd + 1});
+  arcs_.push_back(Arc{u, 0.0, fwd});
+  head_[u].push_back(fwd);
+  head_[v].push_back(fwd + 1);
+  original_cap_.push_back(capacity);
+  original_cap_.push_back(0.0);
+}
+
+void FlowNetwork::add_bidirectional(NodeId u, NodeId v, double capacity) {
+  add_arc(u, v, capacity);
+  add_arc(v, u, capacity);
+}
+
+FlowNetwork FlowNetwork::from_graph(const Graph& g, double capacity) {
+  FlowNetwork net(g.num_nodes());
+  for (const Edge& e : g.edges()) net.add_bidirectional(e.a, e.b, capacity);
+  return net;
+}
+
+bool FlowNetwork::bfs_level(NodeId s, NodeId t) {
+  level_.assign(head_.size(), -1);
+  std::queue<NodeId> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (int idx : head_[u]) {
+      const Arc& a = arcs_[idx];
+      if (a.cap > kEps && level_[a.to] == -1) {
+        level_[a.to] = level_[u] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] != -1;
+}
+
+double FlowNetwork::dfs_push(NodeId u, NodeId t, double pushed) {
+  if (u == t) return pushed;
+  for (std::size_t& i = iter_[u]; i < head_[u].size(); ++i) {
+    Arc& a = arcs_[head_[u][i]];
+    if (a.cap > kEps && level_[a.to] == level_[u] + 1) {
+      double got = dfs_push(a.to, t, std::min(pushed, a.cap));
+      if (got > kEps) {
+        a.cap -= got;
+        arcs_[a.rev].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::max_flow(NodeId s, NodeId t) {
+  check(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes(), "max_flow: bad endpoints");
+  check(s != t, "max_flow: source equals sink");
+  // Reset residual capacities so max_flow is repeatable on one network.
+  for (std::size_t i = 0; i < arcs_.size(); ++i) arcs_[i].cap = original_cap_[i];
+  double flow = 0.0;
+  while (bfs_level(s, t)) {
+    iter_.assign(head_.size(), 0);
+    while (true) {
+      double pushed = dfs_push(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= kEps) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> FlowNetwork::min_cut_side(NodeId s) const {
+  check(s >= 0 && s < num_nodes(), "min_cut_side: bad source");
+  std::vector<bool> side(head_.size(), false);
+  std::queue<NodeId> q;
+  side[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (int idx : head_[u]) {
+      const Arc& a = arcs_[idx];
+      if (a.cap > kEps && !side[a.to]) {
+        side[a.to] = true;
+        q.push(a.to);
+      }
+    }
+  }
+  return side;
+}
+
+double edge_connectivity_flow(const Graph& g, NodeId s, NodeId t) {
+  FlowNetwork net = FlowNetwork::from_graph(g, 1.0);
+  return net.max_flow(s, t);
+}
+
+}  // namespace jf::graph

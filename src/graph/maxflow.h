@@ -1,0 +1,60 @@
+// Dinic's maximum-flow algorithm on a directed network.
+//
+// Used for exact cut computations: s-t connectivity strength (the paper notes
+// an r-regular random graph is almost surely r-connected, §4.3) and as the
+// exact engine behind bisection-bandwidth estimates on concrete partitions.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jf::graph {
+
+// A directed flow network over dense node ids. Arcs carry real capacities.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  // Adds a directed arc u -> v with the given capacity (>= 0).
+  void add_arc(NodeId u, NodeId v, double capacity);
+
+  // Adds capacity in both directions (a full-duplex cable).
+  void add_bidirectional(NodeId u, NodeId v, double capacity);
+
+  // Builds the two-arc representation of an undirected switch graph where
+  // every cable has `capacity` in each direction.
+  static FlowNetwork from_graph(const Graph& g, double capacity);
+
+  // Computes the s-t max flow; resets any previous flow state first.
+  double max_flow(NodeId s, NodeId t);
+
+  // After max_flow: nodes reachable from s in the residual network — the
+  // s-side of a minimum cut.
+  std::vector<bool> min_cut_side(NodeId s) const;
+
+ private:
+  struct Arc {
+    NodeId to;
+    double cap;   // residual capacity
+    int rev;      // index of the reverse arc in arcs_[to]... stored flat
+  };
+
+  bool bfs_level(NodeId s, NodeId t);
+  double dfs_push(NodeId u, NodeId t, double pushed);
+
+  // Flat adjacency: arcs_ holds all arcs; head_[v] lists arc indices from v.
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> head_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<double> original_cap_;
+};
+
+// Max flow between two nodes of an undirected unit-capacity graph: equals the
+// number of edge-disjoint paths (Menger), used for connectivity tests.
+double edge_connectivity_flow(const Graph& g, NodeId s, NodeId t);
+
+}  // namespace jf::graph

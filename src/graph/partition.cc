@@ -1,0 +1,116 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace jf::graph {
+
+namespace {
+
+std::size_t cut_size(const Graph& g, const std::vector<bool>& side) {
+  std::size_t cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (side[e.a] != side[e.b]) ++cut;
+  }
+  return cut;
+}
+
+// D-value: external minus internal cost of v under the current partition.
+int d_value(const Graph& g, const std::vector<bool>& side, NodeId v) {
+  int ext = 0, in = 0;
+  for (NodeId u : g.neighbors(v)) {
+    if (side[u] != side[v]) ++ext;
+    else ++in;
+  }
+  return ext - in;
+}
+
+}  // namespace
+
+BisectionResult kernighan_lin_bisection(const Graph& g, Rng& rng) {
+  const int n = g.num_nodes();
+  check(n >= 2, "kernighan_lin_bisection: need >= 2 nodes");
+
+  // Random balanced start.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < (n + 1) / 2; ++i) side[order[i]] = true;
+
+  // KL passes: greedily swap the best (a, b) pair, lock both, keep the best
+  // prefix of swaps; repeat while a pass improves the cut.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<char> locked(static_cast<std::size_t>(n), 0);
+    std::vector<int> d(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) d[v] = d_value(g, side, v);
+
+    std::vector<std::pair<NodeId, NodeId>> swaps;
+    std::vector<int> gains;
+    const int pairs = n / 2;
+    for (int step = 0; step < pairs; ++step) {
+      int best_gain = std::numeric_limits<int>::min();
+      NodeId best_a = -1, best_b = -1;
+      for (NodeId a = 0; a < n; ++a) {
+        if (locked[a] || !side[a]) continue;
+        for (NodeId b = 0; b < n; ++b) {
+          if (locked[b] || side[b]) continue;
+          int w = g.has_edge(a, b) ? 1 : 0;
+          int gain = d[a] + d[b] - 2 * w;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a == -1) break;
+      locked[best_a] = locked[best_b] = 1;
+      swaps.emplace_back(best_a, best_b);
+      gains.push_back(best_gain);
+      // Update D-values of unlocked nodes as if the swap was applied.
+      for (NodeId v = 0; v < n; ++v) {
+        if (locked[v]) continue;
+        int delta = 0;
+        if (g.has_edge(v, best_a)) delta += side[v] == side[best_a] ? 2 : -2;
+        if (g.has_edge(v, best_b)) delta += side[v] == side[best_b] ? 2 : -2;
+        d[v] += delta;
+      }
+    }
+
+    // Best prefix of cumulative gains.
+    int best_sum = 0, run = 0, best_k = 0;
+    for (std::size_t i = 0; i < gains.size(); ++i) {
+      run += gains[i];
+      if (run > best_sum) {
+        best_sum = run;
+        best_k = static_cast<int>(i) + 1;
+      }
+    }
+    if (best_sum > 0) {
+      for (int i = 0; i < best_k; ++i) {
+        side[swaps[i].first] = false;
+        side[swaps[i].second] = true;
+      }
+      improved = true;
+    }
+  }
+
+  return BisectionResult{side, cut_size(g, side)};
+}
+
+BisectionResult min_bisection_estimate(const Graph& g, Rng& rng, int restarts) {
+  check(restarts >= 1, "min_bisection_estimate: restarts must be >= 1");
+  BisectionResult best = kernighan_lin_bisection(g, rng);
+  for (int i = 1; i < restarts; ++i) {
+    BisectionResult r = kernighan_lin_bisection(g, rng);
+    if (r.cut_edges < best.cut_edges) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace jf::graph

@@ -1,0 +1,29 @@
+// Kernighan-Lin balanced-bisection heuristic.
+//
+// Exact minimum bisection is NP-hard; the paper sidesteps it with the
+// Bollobás probabilistic lower bound for RRGs and closed forms for Clos
+// networks. We additionally provide this KL heuristic to produce concrete
+// near-minimal bisections: it upper-bounds the true minimum cut and is used
+// to cross-check the analytic bounds and to score irregular (expanded)
+// topologies in the LEGUP-style comparison (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace jf::graph {
+
+struct BisectionResult {
+  std::vector<bool> side;   // side[v] == true -> partition A
+  std::size_t cut_edges = 0;  // edges crossing the partition
+};
+
+// One KL run from a random balanced start. |A| = ceil(N/2).
+BisectionResult kernighan_lin_bisection(const Graph& g, Rng& rng);
+
+// Best of `restarts` KL runs (smallest cut).
+BisectionResult min_bisection_estimate(const Graph& g, Rng& rng, int restarts);
+
+}  // namespace jf::graph

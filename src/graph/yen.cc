@@ -1,0 +1,110 @@
+#include "graph/yen.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace jf::graph {
+
+namespace {
+
+// BFS shortest path from s to t avoiding blocked nodes and blocked edges.
+// Parent choice is smallest-id-first for determinism. Returns {} if none.
+std::vector<NodeId> masked_shortest_path(const Graph& g, NodeId s, NodeId t,
+                                         const std::vector<char>& node_blocked,
+                                         const std::set<std::pair<NodeId, NodeId>>& edge_blocked) {
+  auto blocked = [&](NodeId u, NodeId v) {
+    return edge_blocked.count({std::min(u, v), std::max(u, v)}) > 0;
+  };
+  const int n = g.num_nodes();
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), -1);
+  std::queue<NodeId> q;
+  dist[s] = 0;
+  q.push(s);
+  while (!q.empty() && dist[t] == -1) {
+    NodeId u = q.front();
+    q.pop();
+    // Sort neighbor visitation by id so parents (and thus paths) are
+    // deterministic regardless of adjacency-list mutation history.
+    std::vector<NodeId> nbrs(g.neighbors(u).begin(), g.neighbors(u).end());
+    std::sort(nbrs.begin(), nbrs.end());
+    for (NodeId v : nbrs) {
+      if (node_blocked[v] || blocked(u, v) || dist[v] != -1) continue;
+      dist[v] = dist[u] + 1;
+      parent[v] = u;
+      q.push(v);
+    }
+  }
+  if (dist[t] == -1) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = t; cur != -1; cur = parent[cur]) path.push_back(cur);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& g, NodeId s, NodeId t, int k) {
+  check(s >= 0 && s < g.num_nodes() && t >= 0 && t < g.num_nodes(),
+        "k_shortest_paths: bad endpoints");
+  check(k >= 1, "k_shortest_paths: k must be >= 1");
+  if (s == t) return {{s}};
+
+  using Path = std::vector<NodeId>;
+  auto path_less = [](const Path& x, const Path& y) {
+    if (x.size() != y.size()) return x.size() < y.size();
+    return x < y;  // lexicographic tiebreak
+  };
+
+  std::vector<Path> result;
+  // Candidate pool ordered by (length, lex); a set both orders and dedupes.
+  std::set<Path, decltype(path_less)> candidates(path_less);
+
+  std::vector<char> node_blocked(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::set<std::pair<NodeId, NodeId>> edge_blocked;
+
+  Path first = masked_shortest_path(g, s, t, node_blocked, edge_blocked);
+  if (first.empty()) return {};
+  result.push_back(std::move(first));
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    // Spur node ranges over all but the last node of the previous path.
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      const NodeId spur = prev[i];
+      const Path root(prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+
+      edge_blocked.clear();
+      std::fill(node_blocked.begin(), node_blocked.end(), 0);
+
+      // Block the next edge of every accepted path sharing this root.
+      for (const Path& p : result) {
+        if (p.size() > i && std::equal(root.begin(), root.end(), p.begin())) {
+          NodeId u = p[i], v = p[i + 1];
+          edge_blocked.insert({std::min(u, v), std::max(u, v)});
+        }
+      }
+      // Block root nodes except the spur to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j) node_blocked[root[j]] = 1;
+
+      Path spur_path = masked_shortest_path(g, spur, t, node_blocked, edge_blocked);
+      if (spur_path.empty()) continue;
+
+      Path total(root.begin(), root.end() - 1);
+      total.insert(total.end(), spur_path.begin(), spur_path.end());
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace jf::graph

@@ -1,0 +1,92 @@
+#include "layout/cabling.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace jf::layout {
+
+std::vector<CableSpec> cabling_blueprint(const topo::Topology& topo, const Placement& p,
+                                         const expansion::CostModel& costs) {
+  std::vector<CableSpec> specs;
+  for (const auto& e : topo.switches().edges()) {
+    CableSpec spec;
+    spec.a = e.a;
+    spec.b = e.b;
+    spec.count = 1;
+    spec.length_m = switch_cable_length(p, e.a, e.b);
+    spec.optical = spec.length_m > costs.electrical_limit_m;
+    specs.push_back(spec);
+  }
+  for (topo::NodeId sw = 0; sw < topo.num_switches(); ++sw) {
+    const int servers = topo.servers_at(sw);
+    if (servers == 0) continue;
+    CableSpec spec;
+    spec.a = sw;
+    spec.b = sw;
+    spec.count = servers;
+    spec.length_m = server_cable_length(p, sw);
+    spec.optical = spec.length_m > costs.electrical_limit_m;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+CableStats analyze_cabling(const topo::Topology& topo, const Placement& p,
+                           const expansion::CostModel& costs) {
+  CableStats stats;
+  double switch_len_sum = 0.0;
+  // Bundles: cables sharing a floor run. In the central-cluster layout all
+  // switch-switch cables share the cluster (one bundle per rack-to-cluster
+  // run plus one intra-cluster mesh); in the ToR-in-rack layout each
+  // switch pair's run is its own bundle.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, int> runs;
+
+  for (const auto& spec : cabling_blueprint(topo, p, costs)) {
+    const bool server_bundle = spec.a == spec.b;
+    if (server_bundle) {
+      stats.server_cables += spec.count;
+    } else {
+      stats.switch_cables += spec.count;
+      switch_len_sum += spec.length_m * spec.count;
+    }
+    stats.total_length_m += spec.length_m * spec.count;
+    if (spec.optical) stats.optical_cables += spec.count;
+    stats.material_cost += costs.cable_cost(spec.length_m) * spec.count;
+    if (p.style == PlacementStyle::kCentralCluster) {
+      // Rack aggregates: one run per rack; switch mesh: single cluster run.
+      if (server_bundle) ++runs[{spec.a, spec.a}];
+      else runs[{-1, -1}] = 1;
+    } else {
+      ++runs[{std::min(spec.a, spec.b), std::max(spec.a, spec.b)}];
+    }
+  }
+  stats.bundles = static_cast<int>(runs.size());
+  const int total = stats.switch_cables + stats.server_cables;
+  stats.optical_fraction = total > 0 ? static_cast<double>(stats.optical_cables) / total : 0.0;
+  stats.mean_switch_cable_m =
+      stats.switch_cables > 0 ? switch_len_sum / stats.switch_cables : 0.0;
+  return stats;
+}
+
+std::vector<std::string> render_blueprint(const std::vector<CableSpec>& specs) {
+  std::vector<std::string> lines;
+  lines.reserve(specs.size());
+  int id = 0;
+  for (const auto& s : specs) {
+    std::ostringstream os;
+    os << "cable-run " << id++ << ": ";
+    if (s.a == s.b) {
+      os << "rack R" << s.a << " servers -> switch S" << s.a << " x" << s.count;
+    } else {
+      os << "switch S" << s.a << " -> switch S" << s.b;
+    }
+    os << ", " << s.length_m << " m, " << (s.optical ? "optical" : "electrical");
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+}  // namespace jf::layout

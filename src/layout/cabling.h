@@ -1,0 +1,51 @@
+// Cabling blueprints and aggregate cable statistics (paper §6).
+//
+// Produces the artifacts §6 argues make Jellyfish deployable: a complete
+// per-cable blueprint (endpoints, length, electrical/optical class, bundle)
+// that workers can wire from, and the aggregate counts the paper compares
+// against the fat-tree: number of cables, total length, optical share, and
+// bundle structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expansion/cost_model.h"
+#include "layout/placement.h"
+#include "topo/topology.h"
+
+namespace jf::layout {
+
+struct CableSpec {
+  topo::NodeId a = 0;      // switch endpoint
+  topo::NodeId b = 0;      // switch endpoint (== a for server aggregates)
+  int count = 1;           // cables bundled on this run
+  double length_m = 0.0;
+  bool optical = false;
+};
+
+struct CableStats {
+  int switch_cables = 0;       // switch-to-switch cables
+  int server_cables = 0;       // server-to-ToR cables
+  double total_length_m = 0.0;
+  double mean_switch_cable_m = 0.0;
+  int optical_cables = 0;
+  double optical_fraction = 0.0;
+  double material_cost = 0.0;  // via the expansion cost model
+  int bundles = 0;             // distinct physical runs (cable aggregates)
+};
+
+// Every cable run of the topology under the placement. Switch-switch cables
+// are one spec each; server cables aggregate per rack (one bundle per rack).
+std::vector<CableSpec> cabling_blueprint(const topo::Topology& topo, const Placement& p,
+                                         const expansion::CostModel& costs);
+
+// Aggregate statistics over the blueprint.
+CableStats analyze_cabling(const topo::Topology& topo, const Placement& p,
+                           const expansion::CostModel& costs);
+
+// Human-readable blueprint lines ("cable 12: S004 port? -> S017, 6.4m,
+// electrical, bundle 3"), for the example binaries.
+std::vector<std::string> render_blueprint(const std::vector<CableSpec>& specs);
+
+}  // namespace jf::layout

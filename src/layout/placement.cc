@@ -1,0 +1,69 @@
+#include "layout/placement.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace jf::layout {
+
+double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+Placement place(const topo::Topology& topo, PlacementStyle style, const FloorPlan& plan) {
+  const int n = topo.num_switches();
+  check(n >= 1, "place: empty topology");
+  Placement p;
+  p.style = style;
+  p.plan = plan;
+  p.switch_pos.resize(static_cast<std::size_t>(n));
+  p.rack_pos.resize(static_cast<std::size_t>(n));
+
+  const int side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  auto grid_point = [&](int i) {
+    return Point{static_cast<double>(i % side) * plan.rack_pitch_m,
+                 static_cast<double>(i / side) * plan.rack_pitch_m};
+  };
+
+  switch (style) {
+    case PlacementStyle::kToRInRack:
+      for (int i = 0; i < n; ++i) {
+        p.switch_pos[i] = grid_point(i);
+        p.rack_pos[i] = p.switch_pos[i];
+      }
+      break;
+    case PlacementStyle::kCentralCluster: {
+      // Racks occupy the grid; switches pack into a dense cluster at the
+      // grid center with ~1/10 of the rack pitch between them (a few racks
+      // of space hold all switches, §6.2).
+      const double cx = (side - 1) * plan.rack_pitch_m / 2.0;
+      const double cy = cx;
+      const int cluster_side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+      const double cluster_pitch = plan.rack_pitch_m / 10.0;
+      for (int i = 0; i < n; ++i) {
+        p.rack_pos[i] = grid_point(i);
+        p.switch_pos[i] =
+            Point{cx + (i % cluster_side - cluster_side / 2.0) * cluster_pitch,
+                  cy + (i / cluster_side - cluster_side / 2.0) * cluster_pitch};
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+double switch_cable_length(const Placement& p, topo::NodeId a, topo::NodeId b) {
+  check(a >= 0 && b >= 0 && a < static_cast<topo::NodeId>(p.switch_pos.size()) &&
+            b < static_cast<topo::NodeId>(p.switch_pos.size()),
+        "switch_cable_length: bad switch id");
+  return manhattan(p.switch_pos[a], p.switch_pos[b]) + p.plan.cable_slack_m;
+}
+
+double server_cable_length(const Placement& p, topo::NodeId sw) {
+  check(sw >= 0 && sw < static_cast<topo::NodeId>(p.switch_pos.size()),
+        "server_cable_length: bad switch id");
+  const double run = manhattan(p.switch_pos[sw], p.rack_pos[sw]);
+  return run > 0 ? run + p.plan.cable_slack_m : 1.0;  // in-rack patch cable
+}
+
+}  // namespace jf::layout

@@ -1,0 +1,55 @@
+// Physical placement models for cabling analysis (paper §6).
+//
+// Switch positions on a 2-D machine-room floor determine cable lengths,
+// which determine electrical-vs-optical cost. Two placements from the paper
+// are modeled: (1) in-rack ToRs on a square grid — the naive layout; and
+// (2) the paper's §6.2 optimization — all switches consolidated into a
+// central "switch cluster" (switch-switch cables stay short; only
+// server-rack aggregates span the floor).
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace jf::layout {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Manhattan distance — cables run along trays, not diagonals.
+double manhattan(const Point& a, const Point& b);
+
+struct FloorPlan {
+  double rack_pitch_m = 1.2;   // rack center-to-center spacing
+  double cable_slack_m = 2.0;  // vertical drops + service loops per cable
+};
+
+enum class PlacementStyle {
+  kToRInRack,       // each switch lives in its own rack on a square grid
+  kCentralCluster,  // all switches packed into a central cluster (§6.2)
+};
+
+struct Placement {
+  PlacementStyle style = PlacementStyle::kToRInRack;
+  FloorPlan plan;
+  std::vector<Point> switch_pos;  // per switch
+  std::vector<Point> rack_pos;    // per switch: its server rack's position
+};
+
+// Computes positions for every switch of the topology. For kToRInRack the
+// rack and switch positions coincide on a ceil(sqrt(N)) grid; for
+// kCentralCluster switches pack into a tight cluster at the floor's center
+// and racks ring it on the grid.
+Placement place(const topo::Topology& topo, PlacementStyle style, const FloorPlan& plan = {});
+
+// Cable length between two switches under the placement (slack included).
+double switch_cable_length(const Placement& p, topo::NodeId a, topo::NodeId b);
+
+// Cable length from a switch to its server rack (zero-distance for
+// kToRInRack; a floor run for kCentralCluster).
+double server_cable_length(const Placement& p, topo::NodeId sw);
+
+}  // namespace jf::layout

@@ -1,0 +1,43 @@
+#include "routing/paths.h"
+
+#include "common/check.h"
+#include "graph/ecmp.h"
+#include "graph/yen.h"
+
+namespace jf::routing {
+
+std::vector<std::vector<graph::NodeId>> compute_paths(const graph::Graph& g, graph::NodeId s,
+                                                      graph::NodeId t,
+                                                      const RoutingOptions& opts) {
+  check(opts.width >= 1, "compute_paths: width must be >= 1");
+  switch (opts.scheme) {
+    case Scheme::kEcmp:
+      return graph::equal_cost_paths(g, s, t, static_cast<std::size_t>(opts.width));
+    case Scheme::kKsp:
+      return graph::k_shortest_paths(g, s, t, opts.width);
+  }
+  return {};
+}
+
+std::size_t select_path(std::size_t num_paths, std::uint64_t flow_key) {
+  check(num_paths >= 1, "select_path: empty path set");
+  std::uint64_t x = flow_key + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % num_paths);
+}
+
+PathCache::PathCache(const graph::Graph& g, RoutingOptions opts) : g_(g), opts_(opts) {}
+
+const std::vector<std::vector<graph::NodeId>>& PathCache::paths(graph::NodeId s,
+                                                                graph::NodeId t) {
+  auto key = std::make_pair(s, t);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, compute_paths(g_, s, t, opts_)).first;
+  }
+  return it->second;
+}
+
+}  // namespace jf::routing

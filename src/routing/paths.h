@@ -1,0 +1,57 @@
+// Routing schemes over the switch fabric (paper §5).
+//
+// Two families are modeled, matching the paper's comparison:
+//   * ECMP-w: up to w equal-cost *shortest* paths per switch pair — what
+//     commodity hardware gives you (w = 8 or 64);
+//   * KSP-k: Yen's k shortest paths, which may be longer than shortest —
+//     the scheme the paper shows is necessary to exploit Jellyfish capacity.
+// Flow placement onto a path set uses a deterministic 64-bit hash of the
+// flow identity, modeling per-flow ECMP hashing / MPTCP subflow pinning.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jf::routing {
+
+enum class Scheme {
+  kEcmp,  // equal-cost shortest paths, capped at `width`
+  kKsp,   // Yen's k-shortest paths, k = `width`
+};
+
+struct RoutingOptions {
+  Scheme scheme = Scheme::kKsp;
+  int width = 8;  // ECMP ways or KSP k
+};
+
+// Path set for one switch pair under the scheme. Paths are node sequences
+// (both endpoints included); deterministic for a given graph.
+std::vector<std::vector<graph::NodeId>> compute_paths(const graph::Graph& g, graph::NodeId s,
+                                                      graph::NodeId t,
+                                                      const RoutingOptions& opts);
+
+// Deterministic flow-to-path hash (SplitMix64 of the key), mimicking ECMP
+// hardware hashing: stable per flow, uniform across the path set.
+std::size_t select_path(std::size_t num_paths, std::uint64_t flow_key);
+
+// Demand-driven path cache: computes each pair's path set once.
+class PathCache {
+ public:
+  PathCache(const graph::Graph& g, RoutingOptions opts);
+
+  // Paths for (s, t); computed on first use.
+  const std::vector<std::vector<graph::NodeId>>& paths(graph::NodeId s, graph::NodeId t);
+
+  std::size_t pairs_cached() const { return cache_.size(); }
+
+ private:
+  const graph::Graph& g_;
+  RoutingOptions opts_;
+  std::map<std::pair<graph::NodeId, graph::NodeId>, std::vector<std::vector<graph::NodeId>>>
+      cache_;
+};
+
+}  // namespace jf::routing

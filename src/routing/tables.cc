@@ -1,0 +1,105 @@
+#include "routing/tables.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jf::routing {
+
+SwitchTables::SwitchTables(const graph::Graph& g,
+                           const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+                           const RoutingOptions& opts)
+    : num_nodes_(g.num_nodes()), table_(static_cast<std::size_t>(g.num_nodes())) {
+  PathCache cache(g, opts);
+  for (const auto& [src, dst] : pairs) {
+    if (src == dst) continue;
+    const auto& paths = cache.paths(src, dst);
+    for (int pid = 0; pid < static_cast<int>(paths.size()); ++pid) {
+      const auto& path = paths[pid];
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        table_[path[i]][TunnelKey{src, dst, pid}] = path[i + 1];
+      }
+    }
+  }
+}
+
+graph::NodeId SwitchTables::next_hop(graph::NodeId at, graph::NodeId src, graph::NodeId dst,
+                                     int path_id) const {
+  check(at >= 0 && at < num_nodes_, "next_hop: bad switch");
+  auto it = table_[at].find(TunnelKey{src, dst, path_id});
+  return it == table_[at].end() ? -1 : it->second;
+}
+
+std::size_t SwitchTables::entries_at(graph::NodeId at) const {
+  check(at >= 0 && at < num_nodes_, "entries_at: bad switch");
+  return table_[at].size();
+}
+
+std::size_t SwitchTables::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& t : table_) total += t.size();
+  return total;
+}
+
+std::vector<graph::NodeId> SwitchTables::walk(graph::NodeId src, graph::NodeId dst,
+                                              int path_id) const {
+  std::vector<graph::NodeId> out{src};
+  graph::NodeId cur = src;
+  // A simple path can visit each node at most once; more steps = a loop.
+  for (int steps = 0; steps < num_nodes_ && cur != dst; ++steps) {
+    const graph::NodeId nh = next_hop(cur, src, dst, path_id);
+    if (nh < 0) return {};  // dead end
+    out.push_back(nh);
+    cur = nh;
+  }
+  if (cur != dst) return {};  // loop detected
+  return out;
+}
+
+std::vector<int> pack_paths_into_vlans(const std::vector<std::vector<graph::NodeId>>& paths) {
+  // Greedy first-fit coloring. A path fits a VLAN iff adding its hops keeps
+  // the VLAN's (switch, dst) -> next-hop mapping a function (no switch gets
+  // two different next hops toward one destination).
+  std::vector<std::map<std::pair<graph::NodeId, graph::NodeId>, graph::NodeId>> vlans;
+  std::vector<int> colors(paths.size(), 0);
+
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const auto& path = paths[p];
+    if (path.size() < 2) {
+      colors[p] = 0;
+      if (vlans.empty()) vlans.emplace_back();
+      continue;
+    }
+    const graph::NodeId dst = path.back();
+    bool placed = false;
+    for (std::size_t v = 0; v < vlans.size() && !placed; ++v) {
+      bool fits = true;
+      for (std::size_t i = 0; i + 1 < path.size() && fits; ++i) {
+        auto it = vlans[v].find({path[i], dst});
+        if (it != vlans[v].end() && it->second != path[i + 1]) fits = false;
+      }
+      if (fits) {
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          vlans[v][{path[i], dst}] = path[i + 1];
+        }
+        colors[p] = static_cast<int>(v);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      vlans.emplace_back();
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        vlans.back()[{path[i], dst}] = path[i + 1];
+      }
+      colors[p] = static_cast<int>(vlans.size()) - 1;
+    }
+  }
+  return colors;
+}
+
+int vlan_count(const std::vector<int>& colors) {
+  if (colors.empty()) return 0;
+  return *std::max_element(colors.begin(), colors.end()) + 1;
+}
+
+}  // namespace jf::routing

@@ -1,0 +1,72 @@
+// Deployable realizations of k-shortest-path routing (paper §5.3).
+//
+// Path sets computed by Yen's algorithm are an abstraction; real switches
+// forward hop by hop. This module materializes the two §5.3 strategies that
+// need no per-flow controller involvement:
+//
+//  * Per-switch next-hop tables (the OpenFlow/MPLS view): for every
+//    (current switch, destination switch, path id) the next hop — what a
+//    pre-installed rule set or MPLS tunnel mesh would contain.
+//  * SPAIN-style VLAN packing (Mudigonda et al., NSDI 2010): paths are
+//    greedily merged into VLANs such that within one VLAN the links used
+//    toward any destination form a loop-free in-tree, so commodity L2
+//    switches can forward per (VLAN, dst) without loops.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/paths.h"
+
+namespace jf::routing {
+
+// Per-switch forwarding tables for the given pair set, with MPLS-tunnel
+// semantics: entries are keyed by (ingress switch, destination switch,
+// path id) — one label-switched path per tunnel, the §5.3 MPLS realization.
+class SwitchTables {
+ public:
+  // Builds tables covering every (src, dst) pair in `pairs` under `opts`.
+  SwitchTables(const graph::Graph& g,
+               const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+               const RoutingOptions& opts);
+
+  // Next hop at `at` for tunnel (src, dst, path_id); -1 if no entry.
+  graph::NodeId next_hop(graph::NodeId at, graph::NodeId src, graph::NodeId dst,
+                         int path_id) const;
+
+  // Number of entries installed at `at` (a switch-memory cost proxy, the
+  // §5.3 feasibility concern).
+  std::size_t entries_at(graph::NodeId at) const;
+
+  // Total rule count across all switches.
+  std::size_t total_entries() const;
+
+  // Walks the tables from src to dst on `path_id`; returns the realized node
+  // sequence (empty on a routing loop or dead end — used as a sanity check).
+  std::vector<graph::NodeId> walk(graph::NodeId src, graph::NodeId dst, int path_id) const;
+
+ private:
+  struct TunnelKey {
+    graph::NodeId src;
+    graph::NodeId dst;
+    int path_id;
+    auto operator<=>(const TunnelKey&) const = default;
+  };
+
+  int num_nodes_ = 0;
+  // at -> tunnel -> next hop.
+  std::vector<std::map<TunnelKey, graph::NodeId>> table_;
+};
+
+// SPAIN-style VLAN packing: assigns each path a color (VLAN id) such that,
+// per VLAN, the union of path edges directed toward each destination stays
+// a deterministic in-tree: within one VLAN a switch has at most one next
+// hop per destination. Returns one color per input path.
+std::vector<int> pack_paths_into_vlans(const std::vector<std::vector<graph::NodeId>>& paths);
+
+// Number of VLANs a packing uses (max color + 1; 0 for no paths).
+int vlan_count(const std::vector<int>& colors);
+
+}  // namespace jf::routing

@@ -1,0 +1,52 @@
+// Transport-layer state machines driven by the Simulator event loop.
+//
+// TCP NewReno: slow start, congestion avoidance, fast retransmit/recovery
+// with partial-ACK retransmission, RFC 6298 RTO estimation. MPTCP: the same
+// machinery per subflow, with congestion-avoidance window increases coupled
+// across subflows by the LIA rule (Wischik et al., NSDI 2011) so a multipath
+// flow pools capacity instead of grabbing k independent fair shares.
+// Split from the Simulator core for readability; TransportOps is a friend
+// of Simulator and operates on its private state.
+#pragma once
+
+#include <cstdint>
+
+namespace jf::sim {
+
+class Simulator;
+struct Packet;
+struct Flow;
+struct Subflow;
+
+struct TransportOps {
+  // Data packet reached its destination host: reassemble, count goodput,
+  // emit a (possibly duplicate) cumulative ACK on the reverse path.
+  static void on_data(Simulator& sim, const Packet& pkt);
+
+  // Cumulative ACK reached the sender: advance the window, run NewReno.
+  static void on_ack(Simulator& sim, const Packet& pkt);
+
+  // RTO fired (if the generation is current): back off and go-back-N.
+  static void on_timeout(Simulator& sim, int flow, int subflow, std::uint32_t gen);
+
+  // A queue dropped this data packet (oracle SACK): mark it lost, apply one
+  // window reduction per flight, and refill the pipe.
+  static void on_loss(Simulator& sim, const Packet& pkt);
+
+  // Pushes packets while the pipe has room: lost segments first (exact
+  // retransmission), then new data.
+  static void try_send(Simulator& sim, int flow, int subflow);
+
+ private:
+  static void send_data(Simulator& sim, int flow, int subflow, std::int32_t seq,
+                        bool retransmit);
+  static void send_ack(Simulator& sim, const Packet& data);
+  // Arms the retransmission timer if data is outstanding and none is armed;
+  // `rearm` forces a fresh deadline (used when cumulative ACKs advance).
+  static void arm_timer(Simulator& sim, int flow, int subflow, bool rearm);
+  static void update_rtt(const Simulator& sim, Subflow& sf, std::int64_t sample_ns);
+  // Congestion-avoidance per-ACK window increment (Reno or LIA-coupled).
+  static double increase_per_ack(const Flow& f, const Subflow& sf);
+};
+
+}  // namespace jf::sim

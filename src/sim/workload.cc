@@ -1,0 +1,152 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "flow/maxmin.h"
+#include "graph/ecmp.h"
+
+namespace jf::sim {
+
+namespace {
+
+// Mixes flow identity into a stable 64-bit ECMP-style hash key.
+std::uint64_t flow_key(int tm_flow, int connection, int subflow) {
+  return (static_cast<std::uint64_t>(tm_flow) << 20) ^
+         (static_cast<std::uint64_t>(connection) << 8) ^ static_cast<std::uint64_t>(subflow);
+}
+
+}  // namespace
+
+WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                            const WorkloadConfig& cfg, Rng& rng) {
+  check(!tm.flows.empty(), "run_workload: empty traffic matrix");
+  check(cfg.parallel_connections >= 1 && cfg.subflows >= 1, "run_workload: bad connection counts");
+
+  const auto& g = topo.switches();
+  flow::LinkIndex link_index(g);
+  Simulator sim(cfg.sim);
+
+  // Switch-to-switch links first, in LinkIndex order: edge {a<b} -> ids
+  // (base: a->b, base+1: b->a).
+  for (std::size_t i = 0; i < static_cast<std::size_t>(link_index.num_links()); ++i) {
+    sim.add_link();
+  }
+  // Server NIC links: uplink (server -> ToR) then downlink (ToR -> server).
+  const int nic_base = link_index.num_links();
+  auto uplink = [&](int server) { return nic_base + 2 * server; };
+  auto downlink = [&](int server) { return nic_base + 2 * server + 1; };
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    sim.add_link();
+    sim.add_link();
+  }
+
+  routing::PathCache paths(g, cfg.routing);
+
+  // Builds the directed link-id chain for one switch path, bracketed by the
+  // source uplink and destination downlink.
+  auto build_link_path = [&](int src_server, int dst_server,
+                             const std::vector<graph::NodeId>& switch_path) {
+    std::vector<int> out;
+    out.reserve(switch_path.size() + 1);
+    out.push_back(uplink(src_server));
+    for (std::size_t i = 0; i + 1 < switch_path.size(); ++i) {
+      out.push_back(link_index.id(switch_path[i], switch_path[i + 1]));
+    }
+    out.push_back(downlink(dst_server));
+    return out;
+  };
+
+  struct ConnRef {
+    std::size_t tm_flow;
+    int sim_flow;
+  };
+  std::vector<ConnRef> connections;
+
+  for (std::size_t fi = 0; fi < tm.flows.size(); ++fi) {
+    const auto& f = tm.flows[fi];
+    const graph::NodeId ssw = topo.server_switch(f.src_server);
+    const graph::NodeId dsw = topo.server_switch(f.dst_server);
+
+    // Candidate switch paths ({ssw} alone when the pair shares a ToR).
+    const std::vector<std::vector<graph::NodeId>> local_path{{ssw}};
+    const bool local = ssw == dsw;
+    const auto& switch_paths =
+        local || cfg.routing.scheme == routing::Scheme::kEcmp ? local_path
+                                                              : paths.paths(ssw, dsw);
+    check(local || cfg.routing.scheme == routing::Scheme::kEcmp || !switch_paths.empty(),
+          "run_workload: no route between switches");
+
+    auto pick = [&](int conn, int sub) -> std::vector<graph::NodeId> {
+      if (local) return local_path[0];
+      if (cfg.routing.scheme == routing::Scheme::kEcmp) {
+        // ECMP forwards by per-hop hashing over the shortest-path DAG,
+        // truncated to the hardware's way-width at each switch.
+        auto path = graph::ecmp_walk(g, ssw, dsw, flow_key(static_cast<int>(fi), conn, sub),
+                                     cfg.routing.width);
+        check(!path.empty(), "run_workload: no route between switches");
+        return path;
+      }
+      // KSP pins subflow i to the i-th shortest path (round-robin); single-
+      // connection TCP hashes onto one of the k paths.
+      if (cfg.transport == Transport::kMptcp) {
+        return switch_paths[static_cast<std::size_t>(sub) % switch_paths.size()];
+      }
+      return switch_paths[routing::select_path(switch_paths.size(),
+                                               flow_key(static_cast<int>(fi), conn, sub))];
+    };
+
+    if (cfg.transport == Transport::kTcp) {
+      for (int c = 0; c < cfg.parallel_connections; ++c) {
+        const int id = sim.add_flow(f.src_server, f.dst_server, /*mptcp=*/false);
+        const auto p = pick(c, 0);
+        std::vector<graph::NodeId> rev(p.rbegin(), p.rend());
+        sim.add_subflow(id, build_link_path(f.src_server, f.dst_server, p),
+                        build_link_path(f.dst_server, f.src_server, rev),
+                        static_cast<TimeNs>(rng.uniform_index(
+                            static_cast<std::uint64_t>(cfg.start_jitter_ns) + 1)));
+        connections.push_back({fi, id});
+      }
+    } else {
+      const int id = sim.add_flow(f.src_server, f.dst_server, /*mptcp=*/true);
+      for (int s = 0; s < cfg.subflows; ++s) {
+        const auto p = pick(0, s);
+        std::vector<graph::NodeId> rev(p.rbegin(), p.rend());
+        sim.add_subflow(id, build_link_path(f.src_server, f.dst_server, p),
+                        build_link_path(f.dst_server, f.src_server, rev),
+                        static_cast<TimeNs>(rng.uniform_index(
+                            static_cast<std::uint64_t>(cfg.start_jitter_ns) + 1)));
+      }
+      connections.push_back({fi, id});
+    }
+  }
+
+  const TimeNs t_end = cfg.warmup_ns + cfg.measure_ns;
+  sim.set_measure_window(cfg.warmup_ns, t_end);
+  sim.run_until(t_end);
+
+  WorkloadResult result;
+  result.per_flow.assign(tm.flows.size(), 0.0);
+  result.per_server.assign(static_cast<std::size_t>(topo.num_servers()), 0.0);
+  for (const auto& conn : connections) {
+    const double tput = sim.normalized_goodput(conn.sim_flow);
+    result.per_flow[conn.tm_flow] += tput;
+    result.per_server[static_cast<std::size_t>(tm.flows[conn.tm_flow].dst_server)] += tput;
+  }
+  result.mean_flow_throughput = summarize(result.per_flow).mean;
+  result.jain_fairness = jain_fairness(result.per_flow);
+  result.packet_drops = sim.total_drops();
+  for (int fid = 0; fid < sim.num_flows(); ++fid) {
+    for (const auto& sf : sim.flow(fid).subflows) result.total_retransmits += sf.retransmits;
+  }
+  return result;
+}
+
+WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,
+                                        Rng& rng) {
+  auto tm = traffic::random_permutation(topo.num_servers(), rng);
+  return run_workload(topo, tm, cfg, rng);
+}
+
+}  // namespace jf::sim

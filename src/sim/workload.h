@@ -1,0 +1,58 @@
+// High-level packet-simulation harness (paper §5 experiments).
+//
+// Builds a Simulator from a Topology: every cable becomes two directed
+// links, every server gets NIC up/down links, every traffic-matrix flow
+// becomes one or more transport connections routed per the chosen scheme.
+// This is the engine behind Table 1 and Figs. 10-13: it reports normalized
+// per-server and per-flow goodput under {TCP x n, MPTCP x k subflows} over
+// {ECMP-w, KSP-k} routing.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "routing/paths.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+namespace jf::sim {
+
+enum class Transport {
+  kTcp,    // `parallel_connections` independent NewReno connections per flow
+  kMptcp,  // one connection with `subflows` LIA-coupled subflows
+};
+
+struct WorkloadConfig {
+  routing::RoutingOptions routing;
+  Transport transport = Transport::kTcp;
+  int parallel_connections = 1;  // TCP connections per traffic-matrix flow
+  int subflows = 8;              // MPTCP subflows per flow
+  SimConfig sim;
+  TimeNs warmup_ns = 15 * kMillisecond;   // slow-start convergence
+  TimeNs measure_ns = 40 * kMillisecond;
+  TimeNs start_jitter_ns = 500 * kMicrosecond;  // desynchronizes flow starts
+};
+
+struct WorkloadResult {
+  // Normalized goodput per traffic-matrix flow (sums parallel connections /
+  // subflows; 1.0 = receiver NIC fully utilized).
+  std::vector<double> per_flow;
+  // Normalized receive goodput per server (0 for servers receiving nothing).
+  std::vector<double> per_server;
+  double mean_flow_throughput = 0.0;
+  double jain_fairness = 0.0;
+  std::int64_t packet_drops = 0;
+  std::int64_t total_retransmits = 0;
+};
+
+// Runs the traffic matrix on the topology and reports goodput statistics.
+// Deterministic given (topology, tm, config, rng seed).
+WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                            const WorkloadConfig& cfg, Rng& rng);
+
+// Convenience: samples a random server permutation and runs it.
+WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,
+                                        Rng& rng);
+
+}  // namespace jf::sim

@@ -1,0 +1,126 @@
+#include "topo/degree_diameter.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+#include "topo/jellyfish.h"
+
+namespace jf::topo {
+
+graph::Graph petersen() {
+  graph::Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);          // outer pentagon
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.add_edge(i, 5 + i);                // spokes
+  }
+  return g;
+}
+
+graph::Graph hoffman_singleton() {
+  // Standard construction: five pentagons P_h and five pentagrams Q_i.
+  // P_h vertex j -> id 5h + j; Q_i vertex j -> id 25 + 5i + j.
+  graph::Graph g(50);
+  auto P = [](int h, int j) { return 5 * h + ((j % 5) + 5) % 5; };
+  auto Q = [](int i, int j) { return 25 + 5 * i + ((j % 5) + 5) % 5; };
+  for (int h = 0; h < 5; ++h) {
+    for (int j = 0; j < 5; ++j) g.add_edge(P(h, j), P(h, j + 1));  // pentagon
+  }
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) g.add_edge(Q(i, j), Q(i, j + 2));  // pentagram
+  }
+  // P_h[j] adjacent to Q_i[h*i + j].
+  for (int h = 0; h < 5; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = 0; j < 5; ++j) g.add_edge(P(h, j), Q(i, h * i + j));
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Objective: lexicographic (diameter, mean path length), encoded as a single
+// score. Disconnected graphs are infinitely bad.
+double score(const graph::Graph& g) {
+  auto stats = graph::path_length_stats(g);
+  if (!stats.connected) return 1e18;
+  return stats.diameter * 1e6 + stats.mean;
+}
+
+}  // namespace
+
+graph::Graph optimized_regular_graph(int n, int r, int iterations, Rng& rng) {
+  check(n >= 2 && r >= 1 && r < n, "optimized_regular_graph: bad (n, r)");
+  check(static_cast<long long>(n) * r % 2 == 0,
+        "optimized_regular_graph: n*r must be even for an r-regular graph");
+
+  // Start from a connected Jellyfish RRG.
+  graph::Graph g(n);
+  std::vector<int> free_ports(static_cast<std::size_t>(n), r);
+  complete_random_matching(g, free_ports, rng);
+  double best = score(g);
+
+  // First-improvement hill climbing over double edge swaps:
+  // (a,b),(c,d) -> (a,c),(b,d) or (a,d),(b,c). Degree sequence is invariant.
+  for (int it = 0; it < iterations; ++it) {
+    auto edges = g.edges();
+    if (edges.size() < 2) break;
+    const auto e1 = edges[rng.uniform_index(edges.size())];
+    const auto e2 = edges[rng.uniform_index(edges.size())];
+    const int a = e1.a, b = e1.b, c = e2.a, d = e2.b;
+    if (a == c || a == d || b == c || b == d) continue;
+
+    const bool cross = rng.bernoulli(0.5);
+    const int x1 = a, y1 = cross ? c : d;
+    const int x2 = b, y2 = cross ? d : c;
+    if (g.has_edge(x1, y1) || g.has_edge(x2, y2)) continue;
+
+    g.remove_edge(a, b);
+    g.remove_edge(c, d);
+    g.add_edge(x1, y1);
+    g.add_edge(x2, y2);
+    const double s = score(g);
+    if (s <= best) {
+      best = s;
+    } else {
+      // Revert.
+      g.remove_edge(x1, y1);
+      g.remove_edge(x2, y2);
+      g.add_edge(a, b);
+      g.add_edge(c, d);
+    }
+  }
+  return g;
+}
+
+Topology build_degree_diameter_topology(int num_switches, int ports_per_switch,
+                                        int network_degree, int servers_per_switch, Rng& rng) {
+  check(network_degree + servers_per_switch <= ports_per_switch,
+        "build_degree_diameter_topology: port budget exceeded");
+  graph::Graph g;
+  std::string label;
+  if (num_switches == 10 && network_degree == 3) {
+    g = petersen();
+    label = "petersen";
+  } else if (num_switches == 50 && network_degree == 7) {
+    g = hoffman_singleton();
+    label = "hoffman-singleton";
+  } else {
+    // Iteration budget scales inversely with APSP cost to keep runs bounded.
+    const int iters = std::max(300, 60000 / std::max(1, num_switches));
+    g = optimized_regular_graph(num_switches, network_degree, iters, rng);
+    label = "annealed-dd";
+  }
+  std::vector<int> ports(static_cast<std::size_t>(num_switches), ports_per_switch);
+  std::vector<int> servers(static_cast<std::size_t>(num_switches), servers_per_switch);
+  return Topology(label + "(" + std::to_string(num_switches) + "," +
+                      std::to_string(ports_per_switch) + "," + std::to_string(network_degree) +
+                      ")",
+                  std::move(g), std::move(ports), std::move(servers));
+}
+
+}  // namespace jf::topo

@@ -1,0 +1,50 @@
+#include "topo/fattree.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace jf::topo {
+
+int fattree_servers(int k) { return k * k * k / 4; }
+int fattree_switches(int k) { return 5 * k * k / 4; }
+
+FattreeLayers fattree_layers(int k) {
+  FattreeLayers layers;
+  layers.num_edge = k * (k / 2);
+  layers.num_agg = k * (k / 2);
+  layers.num_core = (k / 2) * (k / 2);
+  return layers;
+}
+
+Topology build_fattree(int k) {
+  check(k >= 2 && k % 2 == 0, "build_fattree: k must be even and >= 2");
+  const int half = k / 2;
+  const auto layers = fattree_layers(k);
+  const int total = layers.num_edge + layers.num_agg + layers.num_core;
+
+  graph::Graph g(total);
+  auto edge_id = [&](int pod, int i) { return pod * half + i; };
+  auto agg_id = [&](int pod, int j) { return layers.num_edge + pod * half + j; };
+  auto core_id = [&](int j, int c) { return layers.num_edge + layers.num_agg + j * half + c; };
+
+  for (int pod = 0; pod < k; ++pod) {
+    // Complete bipartite edge<->aggregation mesh within the pod.
+    for (int i = 0; i < half; ++i) {
+      for (int j = 0; j < half; ++j) g.add_edge(edge_id(pod, i), agg_id(pod, j));
+    }
+    // Aggregation switch j serves core group j.
+    for (int j = 0; j < half; ++j) {
+      for (int c = 0; c < half; ++c) g.add_edge(agg_id(pod, j), core_id(j, c));
+    }
+  }
+
+  std::vector<int> ports(static_cast<std::size_t>(total), k);
+  std::vector<int> servers(static_cast<std::size_t>(total), 0);
+  for (int e = 0; e < layers.num_edge; ++e) servers[e] = half;
+
+  return Topology("fattree(k=" + std::to_string(k) + ")", std::move(g), std::move(ports),
+                  std::move(servers));
+}
+
+}  // namespace jf::topo

@@ -1,0 +1,33 @@
+// Three-level k-ary fat-tree (Al-Fares et al., SIGCOMM 2008).
+//
+// The paper's main comparison baseline: k pods, each with k/2 edge and k/2
+// aggregation switches; (k/2)^2 core switches; k^3/4 servers; full bisection
+// bandwidth by construction. All switches have k ports. The design space is
+// deliberately coarse — k must be even — which is exactly the rigidity
+// Jellyfish is built to escape.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace jf::topo {
+
+// Builds the k-ary fat-tree. Requires even k >= 2.
+// Switch id layout: edge switches first (pod-major), then aggregation
+// (pod-major), then core.
+Topology build_fattree(int k);
+
+// Number of servers a k-ary fat-tree supports (k^3/4).
+int fattree_servers(int k);
+
+// Number of switches a k-ary fat-tree uses (5k^2/4).
+int fattree_switches(int k);
+
+// Ids of the different layers for tests and layout code.
+struct FattreeLayers {
+  int num_edge = 0;  // ids [0, num_edge)
+  int num_agg = 0;   // ids [num_edge, num_edge + num_agg)
+  int num_core = 0;  // ids [num_edge + num_agg, total)
+};
+FattreeLayers fattree_layers(int k);
+
+}  // namespace jf::topo

@@ -1,0 +1,83 @@
+#include "topo/io.h"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jf::topo {
+
+void write_text(std::ostream& os, const Topology& topo) {
+  os << "jellyfish-topology 1\n";
+  os << "name " << (topo.name().empty() ? "unnamed" : topo.name()) << "\n";
+  os << "switches " << topo.num_switches() << "\n";
+  for (NodeId sw = 0; sw < topo.num_switches(); ++sw) {
+    os << "switch " << sw << ' ' << topo.ports(sw) << ' ' << topo.servers_at(sw) << "\n";
+  }
+  const auto edges = topo.switches().edges();
+  os << "edges " << edges.size() << "\n";
+  for (const auto& e : edges) os << "edge " << e.a << ' ' << e.b << "\n";
+}
+
+Topology read_text(std::istream& is) {
+  std::string token;
+  int version = 0;
+  is >> token >> version;
+  check(is.good() && token == "jellyfish-topology" && version == 1,
+        "read_text: bad header");
+
+  std::string name;
+  is >> token;
+  check(token == "name", "read_text: expected 'name'");
+  is >> name;
+
+  int n = 0;
+  is >> token >> n;
+  check(is.good() && token == "switches" && n >= 0, "read_text: bad switch count");
+  std::vector<int> ports(static_cast<std::size_t>(n)), servers(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int id = 0, p = 0, s = 0;
+    is >> token >> id >> p >> s;
+    check(is.good() && token == "switch" && id == i, "read_text: bad switch line");
+    ports[i] = p;
+    servers[i] = s;
+  }
+
+  std::size_t e = 0;
+  is >> token >> e;
+  check(is.good() && token == "edges", "read_text: bad edge count");
+  graph::Graph g(n);
+  for (std::size_t i = 0; i < e; ++i) {
+    int a = 0, b = 0;
+    is >> token >> a >> b;
+    check(is.good() && token == "edge", "read_text: bad edge line");
+    g.add_edge(a, b);
+  }
+  return Topology(name, std::move(g), std::move(ports), std::move(servers));
+}
+
+void write_dot(std::ostream& os, const Topology& topo) {
+  os << "graph jellyfish {\n  node [shape=box];\n";
+  for (NodeId sw = 0; sw < topo.num_switches(); ++sw) {
+    os << "  s" << sw << " [label=\"S" << sw << "\\n" << topo.servers_at(sw)
+       << " srv\"];\n";
+  }
+  for (const auto& e : topo.switches().edges()) {
+    os << "  s" << e.a << " -- s" << e.b << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_text(const Topology& topo) {
+  std::ostringstream os;
+  write_text(os, topo);
+  return os.str();
+}
+
+Topology from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace jf::topo

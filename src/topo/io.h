@@ -1,0 +1,35 @@
+// Topology serialization: a line-based text format for persistence and a
+// Graphviz DOT export for visualization.
+//
+// Text format (version 1):
+//   jellyfish-topology 1
+//   name <name>
+//   switches <N>
+//   switch <id> <ports> <servers>     (N lines)
+//   edges <E>
+//   edge <a> <b>                      (E lines)
+//
+// The format round-trips exactly: parse(serialize(t)) == t.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace jf::topo {
+
+// Writes the topology in the text format above.
+void write_text(std::ostream& os, const Topology& topo);
+
+// Parses the text format; throws std::invalid_argument on malformed input.
+Topology read_text(std::istream& is);
+
+// Writes a Graphviz DOT graph: switches as boxes labeled with server counts.
+void write_dot(std::ostream& os, const Topology& topo);
+
+// Convenience round-trip through strings.
+std::string to_text(const Topology& topo);
+Topology from_text(const std::string& text);
+
+}  // namespace jf::topo

@@ -1,0 +1,246 @@
+#include "topo/jellyfish.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+
+namespace jf::topo {
+
+namespace {
+
+// Collects switch ids that still have free network ports.
+std::vector<NodeId> with_free_ports(const std::vector<int>& free_ports) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < static_cast<NodeId>(free_ports.size()); ++v) {
+    if (free_ports[v] > 0) out.push_back(v);
+  }
+  return out;
+}
+
+bool pair_allowed(const graph::Graph& g, const EdgePredicate& allowed, NodeId a, NodeId b) {
+  if (a == b || g.has_edge(a, b)) return false;
+  return !allowed || allowed(a, b);
+}
+
+// Exhaustive scan for any linkable pair among free-port switches.
+bool find_any_pair(const graph::Graph& g, const std::vector<NodeId>& candidates,
+                   const EdgePredicate& allowed, NodeId& out_a, NodeId& out_b) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (pair_allowed(g, allowed, candidates[i], candidates[j])) {
+        out_a = candidates[i];
+        out_b = candidates[j];
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int complete_random_matching(graph::Graph& g, std::vector<int>& free_ports, Rng& rng,
+                             const EdgePredicate& allowed) {
+  check(static_cast<int>(free_ports.size()) == g.num_nodes(),
+        "complete_random_matching: free_ports size mismatch");
+  int added = 0;
+
+  // Edges already present (e.g. an SWDC lattice or a two-layer local layer)
+  // are structural: the leftover-port swaps in phase 2 must only displace
+  // links this call created.
+  std::set<std::pair<NodeId, NodeId>> structural;
+  for (const auto& e : g.edges()) structural.insert({e.a, e.b});
+  auto is_structural = [&](NodeId a, NodeId b) {
+    return structural.count({std::min(a, b), std::max(a, b)}) > 0;
+  };
+
+  // Phase 1: join uniform-random non-adjacent free-port pairs until stuck.
+  // The candidate list is maintained incrementally (swap-remove on port
+  // exhaustion) so construction is ~O(E) instead of O(N*E).
+  constexpr int kRandomTriesBeforeScan = 64;
+  std::vector<NodeId> candidates = with_free_ports(free_ports);
+  auto drop = [&](std::size_t idx) {
+    candidates[idx] = candidates.back();
+    candidates.pop_back();
+  };
+  int consecutive_failures = 0;
+  while (candidates.size() >= 2) {
+    const std::size_t i = rng.uniform_index(candidates.size());
+    const std::size_t j = rng.uniform_index(candidates.size());
+    const NodeId a = candidates[i], b = candidates[j];
+    if (pair_allowed(g, allowed, a, b)) {
+      g.add_edge(a, b);
+      ++added;
+      consecutive_failures = 0;
+      if (--free_ports[a] == 0) drop(i);
+      // a's slot may have moved if i was the last index; find b's slot fresh.
+      if (--free_ports[b] == 0) {
+        for (std::size_t q = 0; q < candidates.size(); ++q) {
+          if (candidates[q] == b) {
+            drop(q);
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (++consecutive_failures < kRandomTriesBeforeScan) continue;
+
+    // Random picks kept colliding; check exhaustively whether any pair is
+    // linkable at all (termination condition of the paper's procedure).
+    NodeId x = -1, y = -1;
+    if (!find_any_pair(g, candidates, allowed, x, y)) break;
+    g.add_edge(x, y);
+    ++added;
+    consecutive_failures = 0;
+    std::erase_if(candidates, [&](NodeId v) {
+      if (v == x) return --free_ports[x] == 0;
+      if (v == y) return --free_ports[y] == 0;
+      return false;
+    });
+  }
+
+  // Phase 2: leftover free ports are folded in by removing a random existing
+  // link (x, y) and adding (p1, x), (p2, y), where p1 and p2 are the two
+  // next free ports — usually on one switch (the paper's description) but
+  // the same swap works across two mutually-adjacent switches, which is how
+  // at most a single unmatched port can remain network-wide.
+  constexpr int kSwapTries = 512;
+  int stuck = 0;
+  while (g.num_edges() > 0 && stuck < kSwapTries) {
+    std::vector<NodeId> leftovers = with_free_ports(free_ports);
+    if (leftovers.empty()) break;
+    NodeId p1 = leftovers.front();
+    NodeId p2 = free_ports[p1] >= 2 ? p1 : (leftovers.size() >= 2 ? leftovers[1] : -1);
+    if (p2 == -1) break;  // a single unmatched port remains, as allowed
+
+    const graph::Edge e = g.random_edge(rng);
+    const NodeId x = e.a, y = e.b;
+    if (is_structural(x, y) || x == p1 || y == p1 || x == p2 || y == p2 ||
+        g.has_edge(p1, x) || g.has_edge(p2, y)) {
+      ++stuck;
+      continue;
+    }
+    if (allowed && (!allowed(p1, x) || !allowed(p2, y))) {
+      ++stuck;
+      continue;
+    }
+    g.remove_edge(x, y);
+    g.add_edge(p1, x);
+    g.add_edge(p2, y);
+    --free_ports[p1];
+    --free_ports[p2];
+    ++added;  // net edge count grows by one per swap
+    stuck = 0;
+  }
+  return added;
+}
+
+Topology build_jellyfish(const JellyfishParams& params, Rng& rng) {
+  const auto [n, k, r] = params;
+  check(n >= 1, "build_jellyfish: need at least one switch");
+  check(k >= 1 && r >= 0 && r <= k, "build_jellyfish: need 0 <= r <= k");
+  check(r < n, "build_jellyfish: network degree must be < num switches (simple graph)");
+
+  graph::Graph g(n);
+  std::vector<int> free_ports(static_cast<std::size_t>(n), r);
+  complete_random_matching(g, free_ports, rng);
+
+  std::vector<int> ports(static_cast<std::size_t>(n), k);
+  std::vector<int> servers(static_cast<std::size_t>(n), k - r);
+  return Topology("jellyfish(N=" + std::to_string(n) + ",k=" + std::to_string(k) +
+                      ",r=" + std::to_string(r) + ")",
+                  std::move(g), std::move(ports), std::move(servers));
+}
+
+Topology build_jellyfish_with_servers(int num_switches, int ports_per_switch, int num_servers,
+                                      Rng& rng) {
+  check(num_switches >= 1, "build_jellyfish_with_servers: need switches");
+  check(num_servers >= 0, "build_jellyfish_with_servers: negative servers");
+  check(num_servers <= num_switches * (ports_per_switch - 1),
+        "build_jellyfish_with_servers: too many servers for the port budget");
+
+  // Distribute servers as evenly as possible: the first `extra` switches get
+  // base+1 servers. Network degree per switch is whatever remains.
+  const int base = num_servers / num_switches;
+  const int extra = num_servers % num_switches;
+  std::vector<int> servers(static_cast<std::size_t>(num_switches), base);
+  for (int i = 0; i < extra; ++i) ++servers[i];
+
+  graph::Graph g(num_switches);
+  std::vector<int> free_ports(static_cast<std::size_t>(num_switches));
+  for (int i = 0; i < num_switches; ++i) {
+    check(servers[i] <= ports_per_switch, "build_jellyfish_with_servers: port budget");
+    // A switch cannot have more neighbors than there are other switches.
+    free_ports[i] = std::min(ports_per_switch - servers[i], num_switches - 1);
+  }
+  complete_random_matching(g, free_ports, rng);
+
+  std::vector<int> ports(static_cast<std::size_t>(num_switches), ports_per_switch);
+  return Topology("jellyfish(N=" + std::to_string(num_switches) + ",k=" +
+                      std::to_string(ports_per_switch) + ",S=" + std::to_string(num_servers) + ")",
+                  std::move(g), std::move(ports), std::move(servers));
+}
+
+NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int servers, Rng& rng) {
+  check(network_degree >= 0 && servers >= 0 && network_degree + servers <= ports,
+        "expand_add_switch: bad port budget");
+  graph::Graph& g = topo.mutable_switches();
+  const NodeId u = topo.add_switch(ports, servers);
+  int free = std::min(network_degree, g.num_nodes() - 1);
+
+  constexpr int kSwapTries = 256;
+  int stuck = 0;
+  while (free >= 2 && g.num_edges() > 0 && stuck < kSwapTries) {
+    const graph::Edge e = g.random_edge(rng);
+    const NodeId v = e.a, w = e.b;
+    if (v == u || w == u || g.has_edge(u, v) || g.has_edge(u, w)) {
+      ++stuck;
+      continue;
+    }
+    g.remove_edge(v, w);
+    g.add_edge(u, v);
+    g.add_edge(u, w);
+    free -= 2;
+    stuck = 0;
+  }
+
+  // Remaining ports (one odd port, or everything when the graph had no edges
+  // to swap): connect directly to existing switches with free ports.
+  while (free > 0) {
+    std::vector<NodeId> candidates;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != u && topo.free_ports(v) > 0 && !g.has_edge(u, v)) candidates.push_back(v);
+    }
+    if (candidates.empty()) break;  // leave the port free, as the paper allows
+    g.add_edge(u, rng.pick(candidates));
+    --free;
+  }
+  topo.validate();
+  return u;
+}
+
+void expand_add_switches(Topology& topo, int count, int ports, int network_degree, int servers,
+                         Rng& rng) {
+  check(count >= 0, "expand_add_switches: negative count");
+  for (int i = 0; i < count; ++i) expand_add_switch(topo, ports, network_degree, servers, rng);
+}
+
+int fail_random_links(Topology& topo, double fraction, Rng& rng) {
+  check(fraction >= 0.0 && fraction <= 1.0, "fail_random_links: fraction in [0,1]");
+  graph::Graph& g = topo.mutable_switches();
+  auto edges = g.edges();
+  const int to_fail = static_cast<int>(fraction * static_cast<double>(edges.size()));
+  // Partial Fisher-Yates over the edge list picks a uniform subset.
+  for (int i = 0; i < to_fail; ++i) {
+    const std::size_t j = i + rng.uniform_index(edges.size() - static_cast<std::size_t>(i));
+    std::swap(edges[i], edges[j]);
+    g.remove_edge(edges[i].a, edges[i].b);
+  }
+  return to_fail;
+}
+
+}  // namespace jf::topo

@@ -1,0 +1,69 @@
+// Jellyfish topology construction and incremental expansion (paper §3, §4.2).
+//
+// The core of the paper: the switch layer is a degree-bounded random graph,
+// denoted RRG(N, k, r) — N switches with k ports each, r of which connect to
+// other switches and k - r to servers. Construction joins random free-port
+// switch pairs until saturation, then folds leftover ports in with random
+// edge swaps; expansion incorporates a new switch by repeatedly removing a
+// random existing cable (x, y) and adding (u, x), (u, y). Both procedures
+// are implemented exactly as described in the paper, including support for
+// heterogeneous port counts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace jf::topo {
+
+struct JellyfishParams {
+  int num_switches = 0;     // N
+  int ports_per_switch = 0; // k
+  int network_degree = 0;   // r; servers per switch = k - r
+};
+
+// Builds RRG(N, k, r). Requires 0 <= r < N and r <= k. The result is
+// connected for the parameter ranges used in practice (r >= 3); callers that
+// need a guarantee can test via graph::is_connected and retry.
+Topology build_jellyfish(const JellyfishParams& params, Rng& rng);
+
+// Builds a Jellyfish network over `num_switches` k-port switches hosting
+// exactly `num_servers` servers, distributed as evenly as possible (the
+// heterogeneous-degree case used in every same-equipment fat-tree
+// comparison, e.g. 780 servers on a 686-server fat-tree's equipment).
+Topology build_jellyfish_with_servers(int num_switches, int ports_per_switch, int num_servers,
+                                      Rng& rng);
+
+// Optional constraint for random matching: returns true if an edge between
+// the two switches may be created (used by the two-layer builder).
+using EdgePredicate = std::function<bool(NodeId, NodeId)>;
+
+// The paper's construction procedure on an existing partial graph: joins
+// uniform-random pairs of switches that have free network ports and are not
+// yet adjacent, until no such pair remains; then incorporates any switch
+// still holding >= 2 free ports via a random edge swap. `free_ports[v]` is
+// the remaining network-port budget per switch and is decremented in place.
+// Returns the number of edges added.
+int complete_random_matching(graph::Graph& g, std::vector<int>& free_ports, Rng& rng,
+                             const EdgePredicate& allowed = nullptr);
+
+// Incremental expansion (§4.2): adds one switch with `ports` total ports,
+// `network_degree` of them wired into the interconnect and `servers` hosting
+// servers. While the new switch has >= 2 unfilled network ports, a random
+// existing link (v, w) with v, w not already adjacent to it is removed and
+// replaced by (u, v), (u, w). A final odd port is matched to an existing
+// free port when possible, else left free (both options the paper allows).
+// Returns the new switch id.
+NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int servers, Rng& rng);
+
+// Convenience: grows the network by `count` identical switches.
+void expand_add_switches(Topology& topo, int count, int ports, int network_degree, int servers,
+                         Rng& rng);
+
+// Removes floor(fraction * num_links) uniform-random switch-switch links
+// (failure-resilience experiments, Fig. 8). Returns the number removed.
+int fail_random_links(Topology& topo, double fraction, Rng& rng);
+
+}  // namespace jf::topo

@@ -1,0 +1,168 @@
+#include "topo/swdc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "topo/jellyfish.h"
+
+namespace jf::topo {
+
+namespace {
+
+// Largest factor pair (a, b) of n with a <= b and a maximal (closest to a
+// square); returns {0, 0} if none with a >= 3 exists.
+std::pair<int, int> square_factors(int n, int min_side) {
+  for (int a = static_cast<int>(std::sqrt(static_cast<double>(n))); a >= min_side; --a) {
+    if (n % a == 0 && n / a >= min_side) return {a, n / a};
+  }
+  return {0, 0};
+}
+
+void add_ring(graph::Graph& g, std::vector<int>& free_ports) {
+  const int n = g.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    if (!g.has_edge(i, j)) {
+      g.add_edge(i, j);
+      --free_ports[i];
+      --free_ports[j];
+    }
+  }
+}
+
+void add_torus2d(graph::Graph& g, std::vector<int>& free_ports, int a, int b) {
+  auto id = [&](int x, int y) { return x * b + y; };
+  for (int x = 0; x < a; ++x) {
+    for (int y = 0; y < b; ++y) {
+      const int u = id(x, y);
+      for (int v : {id((x + 1) % a, y), id(x, (y + 1) % b)}) {
+        if (u != v && !g.has_edge(u, v)) {
+          g.add_edge(u, v);
+          --free_ports[u];
+          --free_ports[v];
+        }
+      }
+    }
+  }
+}
+
+// Honeycomb plane (brick-wall embedding) of 2*a*b nodes per layer, stacked
+// into a z-torus of c layers. Each node: 3 in-plane + 2 vertical neighbors
+// (1 vertical if c == 2, 0 if c == 1).
+void add_hex_torus3d(graph::Graph& g, std::vector<int>& free_ports, int a, int b, int c) {
+  auto id = [&](int x, int y, int s, int z) { return ((x * b + y) * 2 + s) * c + z; };
+  for (int z = 0; z < c; ++z) {
+    for (int x = 0; x < a; ++x) {
+      for (int y = 0; y < b; ++y) {
+        // Sublattice 0 connects to sublattice 1: same cell, west cell, and
+        // north cell — the three honeycomb neighbors.
+        const int u = id(x, y, 0, z);
+        for (int v : {id(x, y, 1, z), id((x + a - 1) % a, y, 1, z),
+                      id(x, (y + b - 1) % b, 1, z)}) {
+          if (u != v && !g.has_edge(u, v)) {
+            g.add_edge(u, v);
+            --free_ports[u];
+            --free_ports[v];
+          }
+        }
+        // Vertical torus links for both sublattice nodes.
+        if (c >= 2) {
+          for (int s = 0; s < 2; ++s) {
+            const int w = id(x, y, s, z);
+            const int up = id(x, y, s, (z + 1) % c);
+            if (w != up && !g.has_edge(w, up)) {
+              g.add_edge(w, up);
+              --free_ports[w];
+              --free_ports[up];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int swdc_feasible_size(SwdcLattice lattice, int target) {
+  check(target >= 3, "swdc_feasible_size: target too small");
+  switch (lattice) {
+    case SwdcLattice::kRing:
+      return target;
+    case SwdcLattice::kTorus2D: {
+      for (int n = target; n >= 9; --n) {
+        if (square_factors(n, 3).first != 0) return n;
+      }
+      return 9;
+    }
+    case SwdcLattice::kHexTorus3D: {
+      // N = 2*a*b*c with c >= 3; prefer the largest feasible N <= target.
+      for (int n = target; n >= 18; --n) {
+        if (n % 2 != 0) continue;
+        const int cells = n / 2;
+        for (int c = 3; c * 9 <= cells; ++c) {
+          if (cells % c == 0 && square_factors(cells / c, 3).first != 0) return n;
+        }
+      }
+      return 18;
+    }
+  }
+  return target;
+}
+
+Topology build_swdc(const SwdcParams& params, Rng& rng) {
+  const int n = params.num_switches;
+  check(n >= 3, "build_swdc: need >= 3 switches");
+  check(params.degree >= 2, "build_swdc: degree must be >= 2");
+  check(params.ports_per_switch >= params.degree + params.servers_per_switch,
+        "build_swdc: ports must cover degree + servers");
+
+  graph::Graph g(n);
+  std::vector<int> free_ports(static_cast<std::size_t>(n), params.degree);
+  std::string label;
+
+  switch (params.lattice) {
+    case SwdcLattice::kRing:
+      add_ring(g, free_ports);
+      label = "swdc-ring";
+      break;
+    case SwdcLattice::kTorus2D: {
+      auto [a, b] = square_factors(n, 3);
+      check(a != 0, "build_swdc: N has no a x b torus factorization with sides >= 3");
+      add_torus2d(g, free_ports, a, b);
+      label = "swdc-torus2d";
+      break;
+    }
+    case SwdcLattice::kHexTorus3D: {
+      check(n % 2 == 0, "build_swdc: hex torus needs an even switch count");
+      const int cells = n / 2;
+      int best_c = 0, best_a = 0, best_b = 0;
+      for (int c = 3; c * 9 <= cells; ++c) {
+        if (cells % c != 0) continue;
+        auto [a, b] = square_factors(cells / c, 3);
+        if (a != 0) {
+          best_c = c;
+          best_a = a;
+          best_b = b;
+        }
+      }
+      check(best_c != 0, "build_swdc: N has no 2*a*b*c hex-torus factorization");
+      add_hex_torus3d(g, free_ports, best_a, best_b, best_c);
+      label = "swdc-hex3d";
+      break;
+    }
+  }
+
+  for (int f : free_ports) check(f >= 0, "build_swdc: lattice exceeds degree budget");
+  // Fill the remaining degree budget with random small-world shortcuts.
+  complete_random_matching(g, free_ports, rng);
+
+  std::vector<int> ports(static_cast<std::size_t>(n), params.ports_per_switch);
+  std::vector<int> servers(static_cast<std::size_t>(n), params.servers_per_switch);
+  return Topology(label + "(N=" + std::to_string(n) + ",d=" + std::to_string(params.degree) + ")",
+                  std::move(g), std::move(ports), std::move(servers));
+}
+
+}  // namespace jf::topo

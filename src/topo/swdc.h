@@ -1,0 +1,42 @@
+// Small-World Datacenter (SWDC, Shin et al. SoCC 2011) topologies.
+//
+// SWDC wires nodes into a regular lattice and fills the remaining degree
+// budget with random shortcut links. The paper compares Jellyfish against
+// the three degree-6 variants (Fig. 4): ring (2 lattice + 4 random links),
+// 2-D torus (4 + 2), and 3-D hex torus. The exact hex lattice of the SWDC
+// paper is not specified in reproducible detail; we use a honeycomb plane
+// (3 in-plane neighbors) stacked on a torus in z (2 vertical neighbors) plus
+// 1 random link — preserving the property the comparison probes: the more
+// the degree budget is consumed by lattice structure, the lower the capacity.
+#pragma once
+
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace jf::topo {
+
+enum class SwdcLattice {
+  kRing,        // 2 lattice links per node
+  kTorus2D,     // 4 lattice links per node (a x b torus)
+  kHexTorus3D,  // 5 lattice links per node (honeycomb plane + z-torus)
+};
+
+struct SwdcParams {
+  SwdcLattice lattice = SwdcLattice::kRing;
+  int num_switches = 0;       // must be compatible with the lattice (see below)
+  int degree = 6;             // total network degree per switch
+  int ports_per_switch = 0;   // >= degree + servers_per_switch
+  int servers_per_switch = 1;
+};
+
+// Builds an SWDC topology. Size requirements: ring — any N >= 3;
+// 2-D torus — N = a*b with both a, b >= 3 (a chosen nearest to sqrt(N));
+// 3-D hex torus — N = 2*a*b*c (honeycomb cells a x b, c >= 3 layers or c == 1).
+Topology build_swdc(const SwdcParams& params, Rng& rng);
+
+// The nearest feasible switch count >= 3 for the given lattice at or below
+// `target` (mirrors the paper's "closest size where the topology is
+// well-formed" adjustment, §4.1).
+int swdc_feasible_size(SwdcLattice lattice, int target);
+
+}  // namespace jf::topo

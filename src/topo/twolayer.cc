@@ -1,0 +1,62 @@
+#include "topo/twolayer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "topo/jellyfish.h"
+
+namespace jf::topo {
+
+int container_of(const TwoLayerParams& params, NodeId sw) {
+  check(params.switches_per_container > 0, "container_of: bad params");
+  return sw / params.switches_per_container;
+}
+
+Topology build_two_layer_jellyfish(const TwoLayerParams& params, Rng& rng) {
+  const int containers = params.num_containers;
+  const int per = params.switches_per_container;
+  const int n = containers * per;
+  check(containers >= 2 && per >= 2, "build_two_layer_jellyfish: need >= 2x2 layout");
+  check(params.network_degree >= 2, "build_two_layer_jellyfish: degree too small");
+  check(params.local_fraction >= 0.0 && params.local_fraction <= 1.0,
+        "build_two_layer_jellyfish: local_fraction in [0,1]");
+  check(params.network_degree + params.servers_per_switch <= params.ports_per_switch,
+        "build_two_layer_jellyfish: port budget exceeded");
+
+  int local = static_cast<int>(std::lround(params.local_fraction * params.network_degree));
+  local = std::min(local, per - 1);          // simple graph inside a container
+  local = std::min(local, params.network_degree);
+  // An odd within-container degree sum cannot be matched; shave one port
+  // (it joins the global share instead).
+  if ((static_cast<long long>(local) * per) % 2 != 0) --local;
+  const int global = params.network_degree - local;
+
+  graph::Graph g(n);
+
+  // Local layer: an independent random graph inside each container.
+  for (int c = 0; c < containers; ++c) {
+    std::vector<int> free_ports(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < per; ++i) free_ports[c * per + i] = local;
+    const int lo = c * per, hi = (c + 1) * per;
+    complete_random_matching(g, free_ports, rng, [lo, hi](NodeId a, NodeId b) {
+      return a >= lo && a < hi && b >= lo && b < hi;
+    });
+  }
+
+  // Global layer: random graph constrained to cross container boundaries.
+  std::vector<int> free_ports(static_cast<std::size_t>(n), global);
+  complete_random_matching(g, free_ports, rng, [per](NodeId a, NodeId b) {
+    return a / per != b / per;
+  });
+
+  std::vector<int> ports(static_cast<std::size_t>(n), params.ports_per_switch);
+  std::vector<int> servers(static_cast<std::size_t>(n), params.servers_per_switch);
+  return Topology("jellyfish-2layer(C=" + std::to_string(containers) + ",n=" +
+                      std::to_string(per) + ",local=" + std::to_string(local) + "/" +
+                      std::to_string(params.network_degree) + ")",
+                  std::move(g), std::move(ports), std::move(servers));
+}
+
+}  // namespace jf::topo

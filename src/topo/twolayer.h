@@ -1,0 +1,33 @@
+// Two-layer Jellyfish for container-based massive-scale data centers (§6.3).
+//
+// To bound cabling cost, each switch's network ports are split into a local
+// share (wired as a random graph *within* its container) and a global share
+// (wired as a random graph *across* containers). Fig. 14 sweeps the local
+// fraction and shows capacity degrades by <6% until ~60% of links are
+// localized — this module generates those topologies.
+#pragma once
+
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace jf::topo {
+
+struct TwoLayerParams {
+  int num_containers = 0;
+  int switches_per_container = 0;
+  int ports_per_switch = 0;
+  int network_degree = 0;      // r = local + global share per switch
+  double local_fraction = 0.5; // fraction of r wired inside the container
+  int servers_per_switch = 0;
+};
+
+// Builds the 2-layer random graph. The per-switch local degree is
+// round(local_fraction * r), clamped to the container size and adjusted down
+// by one when the within-container degree sum would be odd. Remaining ports
+// join the global (inter-container) random graph.
+Topology build_two_layer_jellyfish(const TwoLayerParams& params, Rng& rng);
+
+// Container id of a switch in a topology built by build_two_layer_jellyfish.
+int container_of(const TwoLayerParams& params, NodeId sw);
+
+}  // namespace jf::topo

@@ -1,0 +1,78 @@
+#include "traffic/traffic.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace jf::traffic {
+
+TrafficMatrix random_permutation(int num_servers, Rng& rng, double demand) {
+  check(num_servers >= 2, "random_permutation: need >= 2 servers");
+  std::vector<int> perm(static_cast<std::size_t>(num_servers));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  // Repair fixed points by swapping with a neighbor (wrapping); the result
+  // is a derangement and stays near-uniform for our purposes.
+  for (int i = 0; i < num_servers; ++i) {
+    if (perm[i] == i) {
+      const int j = (i + 1) % num_servers;
+      std::swap(perm[i], perm[j]);
+    }
+  }
+  TrafficMatrix tm;
+  tm.flows.reserve(static_cast<std::size_t>(num_servers));
+  for (int i = 0; i < num_servers; ++i) {
+    ensure(perm[i] != i, "random_permutation: fixed point survived repair");
+    tm.flows.push_back(Flow{i, perm[i], demand});
+  }
+  return tm;
+}
+
+TrafficMatrix all_to_all(int num_servers, double demand, bool normalize) {
+  check(num_servers >= 2, "all_to_all: need >= 2 servers");
+  const double per_flow = normalize ? demand / static_cast<double>(num_servers - 1) : demand;
+  TrafficMatrix tm;
+  tm.flows.reserve(static_cast<std::size_t>(num_servers) * (num_servers - 1));
+  for (int i = 0; i < num_servers; ++i) {
+    for (int j = 0; j < num_servers; ++j) {
+      if (i != j) tm.flows.push_back(Flow{i, j, per_flow});
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix hotspot(int num_servers, int num_hot, int fan_in, Rng& rng, double demand) {
+  check(num_hot >= 1 && num_hot <= num_servers, "hotspot: bad hot count");
+  check(fan_in >= 1 && fan_in < num_servers, "hotspot: bad fan-in");
+  auto hot = rng.sample_without_replacement(num_servers, num_hot);
+  TrafficMatrix tm;
+  for (int h : hot) {
+    int added = 0;
+    auto senders = rng.sample_without_replacement(num_servers, std::min(num_servers, fan_in + 1));
+    for (int s : senders) {
+      if (s == h || added == fan_in) continue;
+      tm.flows.push_back(Flow{s, h, demand});
+      ++added;
+    }
+  }
+  return tm;
+}
+
+std::vector<Commodity> to_switch_commodities(const topo::Topology& topo,
+                                             const TrafficMatrix& tm) {
+  std::map<std::pair<topo::NodeId, topo::NodeId>, double> agg;
+  for (const Flow& f : tm.flows) {
+    const topo::NodeId s = topo.server_switch(f.src_server);
+    const topo::NodeId t = topo.server_switch(f.dst_server);
+    if (s == t) continue;  // intra-rack traffic does not cross the fabric
+    agg[{s, t}] += f.demand;
+  }
+  std::vector<Commodity> out;
+  out.reserve(agg.size());
+  for (const auto& [key, demand] : agg) out.push_back(Commodity{key.first, key.second, demand});
+  return out;
+}
+
+}  // namespace jf::traffic

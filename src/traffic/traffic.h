@@ -1,0 +1,54 @@
+// Traffic demand generation.
+//
+// The paper's evaluation standard is *random permutation traffic*: every
+// server sends at full NIC rate to exactly one other server and receives
+// from exactly one, with the permutation sampled uniformly (no self-pairs).
+// This models zero traffic locality — the worst case for placement-oblivious
+// VM scheduling (§4). All-to-all and hotspot generators are provided for the
+// extended experiments.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace jf::traffic {
+
+// One server-to-server demand, in units of the server NIC rate.
+struct Flow {
+  int src_server = 0;
+  int dst_server = 0;
+  double demand = 1.0;
+};
+
+struct TrafficMatrix {
+  std::vector<Flow> flows;
+};
+
+// Uniform random permutation with no fixed points (derangement): server i
+// sends `demand` to perm[i]. Requires num_servers >= 2.
+TrafficMatrix random_permutation(int num_servers, Rng& rng, double demand = 1.0);
+
+// Every ordered server pair exchanges `demand` (scaled by 1/(n-1) when
+// `normalize` so each server emits `demand` total).
+TrafficMatrix all_to_all(int num_servers, double demand = 1.0, bool normalize = true);
+
+// `num_hot` randomly chosen hot servers each receive `demand` from
+// `fan_in` random distinct senders (incast-style hotspots).
+TrafficMatrix hotspot(int num_servers, int num_hot, int fan_in, Rng& rng, double demand = 1.0);
+
+// A switch-level commodity: aggregated demand between two ToR switches.
+struct Commodity {
+  topo::NodeId src_switch = 0;
+  topo::NodeId dst_switch = 0;
+  double demand = 0.0;
+};
+
+// Aggregates server flows into switch-level commodities (flows whose
+// endpoints share a ToR are intra-rack and drop out — they never touch the
+// interconnect).
+std::vector<Commodity> to_switch_commodities(const topo::Topology& topo,
+                                             const TrafficMatrix& tm);
+
+}  // namespace jf::traffic

@@ -1,0 +1,188 @@
+// Tests for the baseline topology generators: SWDC lattices, degree-diameter
+// benchmark graphs, and the two-layer container Jellyfish.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "topo/degree_diameter.h"
+#include "topo/swdc.h"
+#include "topo/twolayer.h"
+
+namespace jf::topo {
+namespace {
+
+TEST(Swdc, RingHasLatticePlusShortcuts) {
+  Rng rng(1);
+  auto t = build_swdc({.lattice = SwdcLattice::kRing, .num_switches = 20, .degree = 6,
+                       .ports_per_switch = 8, .servers_per_switch = 2},
+                      rng);
+  const auto& g = t.switches();
+  // Ring edges present.
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(g.has_edge(i, (i + 1) % 20));
+  for (NodeId v = 0; v < 20; ++v) EXPECT_LE(g.degree(v), 6);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_EQ(t.num_servers(), 40);
+}
+
+TEST(Swdc, Torus2dLattice) {
+  Rng rng(2);
+  auto t = build_swdc({.lattice = SwdcLattice::kTorus2D, .num_switches = 16, .degree = 6,
+                       .ports_per_switch = 8, .servers_per_switch = 1},
+                      rng);
+  const auto& g = t.switches();
+  // 4x4 torus: every node has its 4 lattice neighbors.
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      const int u = x * 4 + y;
+      EXPECT_TRUE(g.has_edge(u, ((x + 1) % 4) * 4 + y));
+      EXPECT_TRUE(g.has_edge(u, x * 4 + (y + 1) % 4));
+    }
+  }
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Swdc, HexTorus3dWellFormed) {
+  Rng rng(3);
+  const int n = swdc_feasible_size(SwdcLattice::kHexTorus3D, 500);
+  EXPECT_GT(n, 0);
+  EXPECT_LE(n, 500);
+  auto t = build_swdc({.lattice = SwdcLattice::kHexTorus3D, .num_switches = n, .degree = 6,
+                       .ports_per_switch = 8, .servers_per_switch = 1},
+                      rng);
+  for (NodeId v = 0; v < t.num_switches(); ++v) {
+    EXPECT_LE(t.network_degree(v), 6);
+    EXPECT_GE(t.network_degree(v), 5);  // 5 lattice + up to 1 random
+  }
+  EXPECT_TRUE(graph::is_connected(t.switches()));
+}
+
+TEST(Swdc, FeasibleSizes) {
+  EXPECT_EQ(swdc_feasible_size(SwdcLattice::kRing, 484), 484);
+  EXPECT_EQ(swdc_feasible_size(SwdcLattice::kTorus2D, 484), 484);  // 22x22
+  const int hex = swdc_feasible_size(SwdcLattice::kHexTorus3D, 484);
+  EXPECT_EQ(hex % 2, 0);
+  EXPECT_LE(hex, 484);
+  EXPECT_GE(hex, 400);  // close to the target, like the paper's 450
+}
+
+TEST(Swdc, RejectsBadParameters) {
+  Rng rng(4);
+  EXPECT_THROW(build_swdc({.lattice = SwdcLattice::kRing, .num_switches = 2, .degree = 6,
+                           .ports_per_switch = 8, .servers_per_switch = 1},
+                          rng),
+               std::invalid_argument);
+  EXPECT_THROW(build_swdc({.lattice = SwdcLattice::kRing, .num_switches = 10, .degree = 6,
+                           .ports_per_switch = 6, .servers_per_switch = 1},
+                          rng),
+               std::invalid_argument);
+}
+
+TEST(DegreeDiameter, PetersenIsMooreGraph) {
+  auto g = petersen();
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (graph::NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);
+  auto s = graph::path_length_stats(g);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 2);
+}
+
+TEST(DegreeDiameter, HoffmanSingletonIsMooreGraph) {
+  auto g = hoffman_singleton();
+  EXPECT_EQ(g.num_nodes(), 50);
+  EXPECT_EQ(g.num_edges(), 175u);
+  for (graph::NodeId v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 7);
+  auto s = graph::path_length_stats(g);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 2);  // the defining Moore-graph property
+}
+
+TEST(DegreeDiameter, AnnealerImprovesOverRandom) {
+  Rng rng(5);
+  // Mean path length of the annealed graph should not exceed a fresh RRG's.
+  auto annealed = optimized_regular_graph(40, 4, 800, rng);
+  for (graph::NodeId v = 0; v < 40; ++v) EXPECT_EQ(annealed.degree(v), 4);
+  EXPECT_TRUE(graph::is_connected(annealed));
+
+  Rng rng2(6);
+  auto base = optimized_regular_graph(40, 4, 0, rng2);  // zero iterations = RRG
+  EXPECT_LE(graph::mean_path_length(annealed), graph::mean_path_length(base) + 1e-9);
+}
+
+TEST(DegreeDiameter, TopologyWrapperSelectsExactGraphs) {
+  Rng rng(7);
+  auto hs = build_degree_diameter_topology(50, 11, 7, 4, rng);
+  EXPECT_NE(hs.name().find("hoffman"), std::string::npos);
+  EXPECT_EQ(hs.num_servers(), 200);
+  auto pt = build_degree_diameter_topology(10, 5, 3, 2, rng);
+  EXPECT_NE(pt.name().find("petersen"), std::string::npos);
+  auto other = build_degree_diameter_topology(30, 6, 4, 2, rng);
+  EXPECT_NE(other.name().find("annealed"), std::string::npos);
+}
+
+TEST(TwoLayer, RespectsLocalityConstraint) {
+  Rng rng(8);
+  TwoLayerParams p;
+  p.num_containers = 4;
+  p.switches_per_container = 8;
+  p.ports_per_switch = 12;
+  p.network_degree = 8;
+  p.local_fraction = 0.5;
+  p.servers_per_switch = 2;
+  auto t = build_two_layer_jellyfish(p, rng);
+  EXPECT_EQ(t.num_switches(), 32);
+
+  // Count local vs global links.
+  int local = 0, global = 0;
+  for (const auto& e : t.switches().edges()) {
+    if (container_of(p, e.a) == container_of(p, e.b)) ++local;
+    else ++global;
+  }
+  EXPECT_GT(local, 0);
+  EXPECT_GT(global, 0);
+  // Local degree = round(0.5 * 8) = 4 => local link share ~ 50%.
+  const double frac = static_cast<double>(local) / (local + global);
+  EXPECT_NEAR(frac, 0.5, 0.1);
+  EXPECT_TRUE(graph::is_connected(t.switches()));
+  t.validate();
+}
+
+TEST(TwoLayer, ExtremeFractions) {
+  Rng rng(9);
+  TwoLayerParams p;
+  p.num_containers = 3;
+  p.switches_per_container = 6;
+  p.ports_per_switch = 10;
+  p.network_degree = 6;
+  p.servers_per_switch = 2;
+
+  p.local_fraction = 0.0;  // all links global
+  auto t0 = build_two_layer_jellyfish(p, rng);
+  for (const auto& e : t0.switches().edges()) {
+    EXPECT_NE(container_of(p, e.a), container_of(p, e.b));
+  }
+
+  p.local_fraction = 1.0;  // as local as feasible (capped by container size)
+  auto t1 = build_two_layer_jellyfish(p, rng);
+  int global = 0;
+  for (const auto& e : t1.switches().edges()) {
+    if (container_of(p, e.a) != container_of(p, e.b)) ++global;
+  }
+  // local degree capped at per-container simple-graph max (5), so one global
+  // port per switch remains.
+  EXPECT_GT(global, 0);
+  EXPECT_TRUE(graph::is_connected(t1.switches()));
+}
+
+TEST(TwoLayer, RejectsBadParameters) {
+  Rng rng(10);
+  TwoLayerParams p;
+  p.num_containers = 1;
+  p.switches_per_container = 4;
+  p.ports_per_switch = 8;
+  p.network_degree = 4;
+  EXPECT_THROW(build_two_layer_jellyfish(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jf::topo

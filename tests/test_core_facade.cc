@@ -1,0 +1,102 @@
+// Tests for the public JellyfishNetwork facade and cross-module integration.
+#include <gtest/gtest.h>
+
+#include "core/jellyfish_network.h"
+#include "topo/fattree.h"
+
+namespace jf::core {
+namespace {
+
+TEST(Facade, BuildMatchesOptions) {
+  auto net = JellyfishNetwork::build({.switches = 25, .ports = 10, .servers = 100, .seed = 1});
+  EXPECT_EQ(net.num_switches(), 25);
+  EXPECT_EQ(net.num_servers(), 100);
+  EXPECT_GT(net.num_links(), 0u);
+}
+
+TEST(Facade, DeterministicBySeed) {
+  auto a = JellyfishNetwork::build({.switches = 15, .ports = 8, .servers = 45, .seed = 9});
+  auto b = JellyfishNetwork::build({.switches = 15, .ports = 8, .servers = 45, .seed = 9});
+  EXPECT_EQ(a.topology().switches().edges(), b.topology().switches().edges());
+}
+
+TEST(Facade, WrapForeignTopology) {
+  auto ft = topo::build_fattree(4);
+  auto net = JellyfishNetwork::wrap(std::move(ft), 3);
+  EXPECT_EQ(net.num_servers(), 16);
+  EXPECT_GT(net.throughput(1), 0.5);
+}
+
+TEST(Facade, ExpansionOperations) {
+  auto net = JellyfishNetwork::build({.switches = 15, .ports = 8, .servers = 45, .seed = 2});
+  net.add_rack(8, 3);
+  EXPECT_EQ(net.num_switches(), 16);
+  EXPECT_EQ(net.num_servers(), 48);
+  net.add_switch(8);
+  EXPECT_EQ(net.num_switches(), 17);
+  EXPECT_EQ(net.num_servers(), 48);
+  EXPECT_THROW(net.add_rack(8, 0), std::invalid_argument);
+}
+
+TEST(Facade, PathStatsAndBisection) {
+  auto net = JellyfishNetwork::build({.switches = 20, .ports = 10, .servers = 60, .seed = 4});
+  auto stats = net.path_stats();
+  EXPECT_TRUE(stats.connected);
+  EXPECT_GT(stats.mean, 1.0);
+  EXPECT_GE(stats.diameter, 2);
+  EXPECT_GT(net.bisection_bandwidth(), 0.0);
+}
+
+TEST(Facade, FailureInjection) {
+  auto net = JellyfishNetwork::build({.switches = 30, .ports = 10, .servers = 90, .seed = 5});
+  const double before = net.throughput(2);
+  const int removed = net.fail_links(0.15);
+  EXPECT_GT(removed, 0);
+  const double after = net.throughput(2);
+  // Paper Fig. 8: degradation is graceful.
+  EXPECT_GT(after, before * 0.6);
+  EXPECT_LE(after, before + 0.1);
+}
+
+TEST(Facade, PacketSimIntegration) {
+  auto net = JellyfishNetwork::build({.switches = 10, .ports = 8, .servers = 30, .seed = 6});
+  sim::WorkloadConfig cfg;
+  cfg.routing = {routing::Scheme::kKsp, 4};
+  cfg.transport = sim::Transport::kMptcp;
+  cfg.subflows = 4;
+  cfg.warmup_ns = 2 * sim::kMillisecond;
+  cfg.measure_ns = 8 * sim::kMillisecond;
+  auto res = net.packet_sim(cfg);
+  EXPECT_EQ(res.per_flow.size(), 30u);
+  EXPECT_GT(res.mean_flow_throughput, 0.2);
+}
+
+TEST(Facade, CablingArtifacts) {
+  auto net = JellyfishNetwork::build({.switches = 12, .ports = 8, .servers = 36, .seed = 7});
+  auto specs = net.cabling_blueprint();
+  EXPECT_FALSE(specs.empty());
+  auto stats = net.cabling_stats();
+  EXPECT_EQ(stats.server_cables, 36);
+  EXPECT_EQ(stats.switch_cables, static_cast<int>(net.num_links()));
+}
+
+TEST(Facade, FluidAndPacketAgreeOnOrdering) {
+  // Integration: a well-provisioned network outperforms an oversubscribed
+  // one under both engines.
+  auto rich = JellyfishNetwork::build({.switches = 12, .ports = 10, .servers = 24, .seed = 8});
+  auto poor = JellyfishNetwork::build({.switches = 12, .ports = 10, .servers = 84, .seed = 8});
+  EXPECT_GT(rich.throughput(2), poor.throughput(2));
+
+  sim::WorkloadConfig cfg;
+  cfg.routing = {routing::Scheme::kKsp, 4};
+  cfg.transport = sim::Transport::kMptcp;
+  cfg.subflows = 4;
+  cfg.warmup_ns = 2 * sim::kMillisecond;
+  cfg.measure_ns = 8 * sim::kMillisecond;
+  auto rich_pkt = rich.packet_sim(cfg);
+  auto poor_pkt = poor.packet_sim(cfg);
+  EXPECT_GT(rich_pkt.mean_flow_throughput, poor_pkt.mean_flow_throughput);
+}
+
+}  // namespace
+}  // namespace jf::core

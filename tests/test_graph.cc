@@ -1,0 +1,205 @@
+// Unit tests for the graph substrate: structure, BFS/APSP, components.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace jf::graph {
+namespace {
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+TEST(Graph, AddRemoveEdges) {
+  Graph g(4);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 0u);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadIds) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(g.degree(-1), std::invalid_argument);
+  EXPECT_THROW(g.remove_edge(0, 1), std::invalid_argument);
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph g(1);
+  NodeId v = g.add_node();
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  g.add_edge(0, v);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, EdgesCanonicalSorted) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(2, 0);
+  auto es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], (Edge{0, 2}));
+  EXPECT_EQ(es[1], (Edge{1, 3}));
+}
+
+TEST(Graph, DegreeSumInvariant) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.degree_sum(), 2 * g.num_edges());
+}
+
+TEST(Graph, RandomEdgeIsUniformish) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Rng rng(3);
+  std::map<std::pair<NodeId, NodeId>, int> seen;
+  for (int i = 0; i < 3000; ++i) {
+    auto e = g.random_edge(rng);
+    EXPECT_TRUE(g.has_edge(e.a, e.b));
+    EXPECT_LT(e.a, e.b);
+    ++seen[{e.a, e.b}];
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  for (const auto& [k, count] : seen) EXPECT_GT(count, 700);  // ~1000 each
+}
+
+TEST(Graph, RandomEdgeAfterRemoval) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    auto e = g.random_edge(rng);
+    EXPECT_EQ(e.a, 1);
+    EXPECT_EQ(e.b, 2);
+  }
+}
+
+TEST(Graph, MaxDegreeTracksMutation) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 3);
+  g.remove_edge(0, 1);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  auto g = path_graph(5);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, UnreachableIsMarked) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(ShortestPath, FindsPathAndHandlesTrivialCases) {
+  auto g = cycle_graph(6);
+  auto p = shortest_path(g, 0, 3);
+  EXPECT_EQ(p.size(), 4u);  // 3 hops
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 3);
+  EXPECT_EQ(shortest_path(g, 2, 2), (std::vector<NodeId>{2}));
+  Graph disc(2);
+  EXPECT_TRUE(shortest_path(disc, 0, 1).empty());
+}
+
+TEST(Connectivity, DetectsComponents) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, TrivialGraphs) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));
+}
+
+TEST(PathStats, CycleGraph) {
+  auto g = cycle_graph(6);
+  auto s = path_length_stats(g);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 3);
+  // Cycle of 6: per node distances {1,1,2,2,3} -> mean 1.8.
+  EXPECT_NEAR(s.mean, 1.8, 1e-12);
+  EXPECT_EQ(s.histogram.at(1), 12u);  // ordered pairs
+  EXPECT_EQ(s.histogram.at(3), 6u);
+}
+
+TEST(PathStats, DisconnectedFlagged) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto s = path_length_stats(g);
+  EXPECT_FALSE(s.connected);
+  EXPECT_EQ(s.diameter, 1);
+}
+
+TEST(PathStats, CompleteGraphDiameterOne) {
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) g.add_edge(i, j);
+  }
+  EXPECT_EQ(diameter(g), 1);
+  EXPECT_DOUBLE_EQ(mean_path_length(g), 1.0);
+}
+
+TEST(ReachableWithin, CountsHorizon) {
+  auto g = path_graph(6);
+  EXPECT_EQ(reachable_within(g, 0, 0), 0);
+  EXPECT_EQ(reachable_within(g, 0, 2), 2);
+  EXPECT_EQ(reachable_within(g, 0, 10), 5);
+  EXPECT_EQ(reachable_within(g, 2, 1), 2);
+}
+
+}  // namespace
+}  // namespace jf::graph

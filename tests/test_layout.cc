@@ -1,0 +1,126 @@
+// Tests for placement and cabling analysis (§6).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expansion/cost_model.h"
+#include "layout/cabling.h"
+#include "layout/placement.h"
+#include "topo/fattree.h"
+#include "topo/jellyfish.h"
+
+namespace jf::layout {
+namespace {
+
+TEST(Placement, Manhattan) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Placement, ToRInRackGrid) {
+  Rng rng(1);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 9, .ports_per_switch = 8, .network_degree = 4}, rng);
+  auto p = place(topo, PlacementStyle::kToRInRack);
+  ASSERT_EQ(p.switch_pos.size(), 9u);
+  // 3x3 grid with 1.2 m pitch: switch 4 sits at (1.2, 1.2).
+  EXPECT_DOUBLE_EQ(p.switch_pos[4].x, 1.2);
+  EXPECT_DOUBLE_EQ(p.switch_pos[4].y, 1.2);
+  // Rack and switch coincide.
+  EXPECT_DOUBLE_EQ(server_cable_length(p, 4), 1.0);  // in-rack patch
+}
+
+TEST(Placement, CentralClusterShortensSwitchCables) {
+  Rng rng(2);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 49, .ports_per_switch = 8, .network_degree = 4}, rng);
+  auto in_rack = place(topo, PlacementStyle::kToRInRack);
+  auto cluster = place(topo, PlacementStyle::kCentralCluster);
+
+  double sum_rack = 0, sum_cluster = 0;
+  for (const auto& e : topo.switches().edges()) {
+    sum_rack += switch_cable_length(in_rack, e.a, e.b);
+    sum_cluster += switch_cable_length(cluster, e.a, e.b);
+  }
+  // The paper's §6.2 optimization: consolidating switches shrinks
+  // switch-switch cabling dramatically.
+  EXPECT_LT(sum_cluster, sum_rack * 0.5);
+  // But server cables now span the floor.
+  EXPECT_GT(server_cable_length(cluster, 0), server_cable_length(in_rack, 0));
+}
+
+TEST(Cabling, BlueprintCountsMatchTopology) {
+  Rng rng(3);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 16, .ports_per_switch = 10, .network_degree = 6}, rng);
+  expansion::CostModel costs;
+  auto p = place(topo, PlacementStyle::kCentralCluster);
+  auto specs = cabling_blueprint(topo, p, costs);
+
+  int switch_cables = 0, server_cables = 0;
+  for (const auto& s : specs) {
+    if (s.a == s.b) server_cables += s.count;
+    else switch_cables += s.count;
+  }
+  EXPECT_EQ(switch_cables, static_cast<int>(topo.switches().num_edges()));
+  EXPECT_EQ(server_cables, topo.num_servers());
+}
+
+TEST(Cabling, StatsAreConsistent) {
+  Rng rng(4);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 25, .ports_per_switch = 10, .network_degree = 6}, rng);
+  expansion::CostModel costs;
+  auto p = place(topo, PlacementStyle::kCentralCluster);
+  auto stats = analyze_cabling(topo, p, costs);
+  EXPECT_EQ(stats.switch_cables, static_cast<int>(topo.switches().num_edges()));
+  EXPECT_EQ(stats.server_cables, topo.num_servers());
+  EXPECT_GT(stats.total_length_m, 0.0);
+  EXPECT_GT(stats.material_cost, 0.0);
+  EXPECT_GE(stats.optical_fraction, 0.0);
+  EXPECT_LE(stats.optical_fraction, 1.0);
+  // Cluster layout: one bundle per rack plus the intra-cluster mesh.
+  EXPECT_EQ(stats.bundles, topo.num_switches() + 1);
+}
+
+TEST(Cabling, ClusterKeepsSwitchCablesElectricalAtSmallScale) {
+  // §6.2: for small clusters the switch-cluster layout keeps switch-switch
+  // runs within the 10 m electrical limit.
+  Rng rng(5);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 36, .ports_per_switch = 12, .network_degree = 8}, rng);
+  expansion::CostModel costs;
+  auto p = place(topo, PlacementStyle::kCentralCluster);
+  for (const auto& e : topo.switches().edges()) {
+    EXPECT_LE(switch_cable_length(p, e.a, e.b), costs.electrical_limit_m);
+  }
+}
+
+TEST(Cabling, JellyfishNeedsFewerCablesThanFattree) {
+  // Same servers, ~20% fewer switches: Jellyfish's cable count is lower.
+  const int k = 6;
+  auto ft = topo::build_fattree(k);
+  Rng rng(6);
+  auto jelly = topo::build_jellyfish_with_servers(topo::fattree_switches(k) * 4 / 5, k,
+                                                  ft.num_servers(), rng);
+  expansion::CostModel costs;
+  auto pf = place(ft, PlacementStyle::kCentralCluster);
+  auto pj = place(jelly, PlacementStyle::kCentralCluster);
+  auto sf = analyze_cabling(ft, pf, costs);
+  auto sj = analyze_cabling(jelly, pj, costs);
+  EXPECT_LT(sj.switch_cables, sf.switch_cables);
+  EXPECT_EQ(sj.server_cables, sf.server_cables);
+}
+
+TEST(Cabling, RenderedBlueprintLines) {
+  Rng rng(7);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 4, .ports_per_switch = 6, .network_degree = 3}, rng);
+  expansion::CostModel costs;
+  auto p = place(topo, PlacementStyle::kToRInRack);
+  auto lines = render_blueprint(cabling_blueprint(topo, p, costs));
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("cable-run 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jf::layout

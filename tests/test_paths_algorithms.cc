@@ -1,0 +1,214 @@
+// Tests for Yen's k-shortest paths, ECMP enumeration, Dinic max-flow and
+// the Kernighan-Lin bisection heuristic — including property sweeps.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/ecmp.h"
+#include "graph/maxflow.h"
+#include "graph/partition.h"
+#include "graph/yen.h"
+#include "topo/jellyfish.h"
+
+namespace jf::graph {
+namespace {
+
+bool is_simple_path(const Graph& g, const std::vector<NodeId>& p) {
+  std::set<NodeId> seen(p.begin(), p.end());
+  if (seen.size() != p.size()) return false;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!g.has_edge(p[i], p[i + 1])) return false;
+  }
+  return true;
+}
+
+Graph diamond() {
+  // 0 - {1,2} - 3 plus a long detour 0-4-5-3.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  return g;
+}
+
+TEST(Yen, FindsAllPathsSortedByLength) {
+  auto g = diamond();
+  auto paths = k_shortest_paths(g, 0, 3, 10);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].size(), 3u);  // 0-1-3
+  EXPECT_EQ(paths[1].size(), 3u);  // 0-2-3
+  EXPECT_EQ(paths[2].size(), 4u);  // 0-4-5-3
+  for (const auto& p : paths) {
+    EXPECT_TRUE(is_simple_path(g, p));
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+  }
+}
+
+TEST(Yen, RespectsK) {
+  auto g = diamond();
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 2).size(), 2u);
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 1).size(), 1u);
+}
+
+TEST(Yen, TrivialAndUnreachable) {
+  auto g = diamond();
+  EXPECT_EQ(k_shortest_paths(g, 2, 2, 3), std::vector<std::vector<NodeId>>{{2}});
+  Graph disc(3);
+  disc.add_edge(0, 1);
+  EXPECT_TRUE(k_shortest_paths(disc, 0, 2, 3).empty());
+  EXPECT_THROW(k_shortest_paths(g, 0, 3, 0), std::invalid_argument);
+}
+
+TEST(Yen, PathsAreDistinct) {
+  Rng rng(17);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 30, .ports_per_switch = 10, .network_degree = 6}, rng);
+  const auto& g = topo.switches();
+  for (NodeId t = 1; t <= 8; ++t) {
+    auto paths = k_shortest_paths(g, 0, t, 8);
+    std::set<std::vector<NodeId>> uniq(paths.begin(), paths.end());
+    EXPECT_EQ(uniq.size(), paths.size());
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+      EXPECT_LE(paths[i - 1].size(), paths[i].size());  // sorted by length
+    }
+    for (const auto& p : paths) EXPECT_TRUE(is_simple_path(g, p));
+  }
+}
+
+TEST(Yen, DeterministicAcrossCalls) {
+  Rng rng(18);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 20, .ports_per_switch = 8, .network_degree = 5}, rng);
+  auto a = k_shortest_paths(topo.switches(), 0, 7, 6);
+  auto b = k_shortest_paths(topo.switches(), 0, 7, 6);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ecmp, EnumeratesEqualCostPaths) {
+  auto g = diamond();
+  auto paths = equal_cost_paths(g, 0, 3, 16);
+  ASSERT_EQ(paths.size(), 2u);  // only the two 2-hop paths are shortest
+  for (const auto& p : paths) EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(Ecmp, RespectsLimit) {
+  auto g = diamond();
+  EXPECT_EQ(equal_cost_paths(g, 0, 3, 1).size(), 1u);
+}
+
+TEST(Ecmp, CountSaturates) {
+  auto g = diamond();
+  EXPECT_EQ(count_shortest_paths(g, 0, 3, 1), 1u);
+  EXPECT_EQ(count_shortest_paths(g, 0, 3, 100), 2u);
+}
+
+TEST(Ecmp, AllPathsAreShortest) {
+  Rng rng(19);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 40, .ports_per_switch = 10, .network_degree = 6}, rng);
+  const auto& g = topo.switches();
+  auto dist = bfs_distances(g, 5);
+  for (NodeId t : {0, 10, 20, 30}) {
+    if (t == 5) continue;
+    auto paths = equal_cost_paths(g, 5, t, 64);
+    for (const auto& p : paths) {
+      EXPECT_EQ(static_cast<int>(p.size()) - 1, dist[t]);
+      EXPECT_TRUE(is_simple_path(g, p));
+    }
+  }
+}
+
+TEST(MaxFlow, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 1), 3.5);
+  // Repeatable: capacities reset between calls.
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 1), 3.5);
+}
+
+TEST(MaxFlow, ClassicNetwork) {
+  // Max flow 23 textbook example (CLRS).
+  FlowNetwork net(6);
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 5), 23.0);
+}
+
+TEST(MaxFlow, MinCutSideSeparates) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 5);
+  net.add_arc(1, 2, 1);  // bottleneck
+  net.add_arc(2, 3, 5);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 3), 1.0);
+  auto side = net.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, EdgeConnectivityOfRrgIsR) {
+  // Paper §4.3: an r-regular random graph is almost surely r-connected.
+  Rng rng(23);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 24, .ports_per_switch = 8, .network_degree = 5}, rng);
+  const auto& g = topo.switches();
+  double min_conn = 1e9;
+  for (NodeId t = 1; t < 6; ++t) {
+    min_conn = std::min(min_conn, edge_connectivity_flow(g, 0, t));
+  }
+  EXPECT_DOUBLE_EQ(min_conn, 5.0);
+}
+
+TEST(MaxFlow, RejectsBadArgs) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_arc(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_arc(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.max_flow(0, 0), std::invalid_argument);
+}
+
+TEST(Partition, BalancedAndCountsCut) {
+  // Two K4 cliques joined by one edge: optimal bisection cuts exactly 1.
+  Graph g(8);
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) g.add_edge(base + i, base + j);
+    }
+  }
+  g.add_edge(0, 4);
+  Rng rng(29);
+  auto result = min_bisection_estimate(g, rng, 10);
+  EXPECT_EQ(result.cut_edges, 1u);
+  int a = 0;
+  for (bool s : result.side) a += s ? 1 : 0;
+  EXPECT_EQ(a, 4);
+}
+
+TEST(Partition, CutNeverBelowTrueMin) {
+  // KL is a heuristic upper bound on the minimum bisection; on a cycle the
+  // optimum balanced cut is 2.
+  Graph g(8);
+  for (int i = 0; i < 8; ++i) g.add_edge(i, (i + 1) % 8);
+  Rng rng(31);
+  auto result = min_bisection_estimate(g, rng, 10);
+  EXPECT_GE(result.cut_edges, 2u);
+  EXPECT_EQ(result.cut_edges, 2u);  // KL finds the optimum here
+}
+
+}  // namespace
+}  // namespace jf::graph

@@ -1,0 +1,130 @@
+// Tests for routing schemes, flow-to-path hashing, and Fig. 9 diversity
+// accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "flow/maxmin.h"
+#include "routing/diversity.h"
+#include "routing/paths.h"
+#include "topo/fattree.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace jf::routing {
+namespace {
+
+TEST(ComputePaths, EcmpPathsAreShortest) {
+  Rng rng(1);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 30, .ports_per_switch = 10, .network_degree = 6}, rng);
+  const auto& g = topo.switches();
+  auto ecmp = compute_paths(g, 0, 15, {Scheme::kEcmp, 8});
+  ASSERT_FALSE(ecmp.empty());
+  EXPECT_LE(ecmp.size(), 8u);
+  const std::size_t len = ecmp.front().size();
+  for (const auto& p : ecmp) EXPECT_EQ(p.size(), len);
+}
+
+TEST(ComputePaths, KspIncludesLongerPaths) {
+  Rng rng(2);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 30, .ports_per_switch = 10, .network_degree = 6}, rng);
+  const auto& g = topo.switches();
+  auto ksp = compute_paths(g, 0, 15, {Scheme::kKsp, 8});
+  ASSERT_EQ(ksp.size(), 8u);
+  // KSP must offer at least the shortest path plus longer alternatives.
+  EXPECT_GE(ksp.back().size(), ksp.front().size());
+  auto ecmp = compute_paths(g, 0, 15, {Scheme::kEcmp, 64});
+  // The paper's point: Jellyfish usually has few equal-cost shortest paths
+  // but k-shortest-paths can always find 8 distinct ones.
+  EXPECT_GE(ksp.size(), std::min<std::size_t>(ecmp.size(), 8));
+}
+
+TEST(SelectPath, DeterministicAndInRange) {
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const std::size_t p = select_path(7, key);
+    EXPECT_LT(p, 7u);
+    EXPECT_EQ(p, select_path(7, key));
+  }
+  EXPECT_THROW(select_path(0, 1), std::invalid_argument);
+}
+
+TEST(SelectPath, SpreadsAcrossPaths) {
+  std::set<std::size_t> seen;
+  for (std::uint64_t key = 0; key < 64; ++key) seen.insert(select_path(8, key));
+  EXPECT_EQ(seen.size(), 8u);  // all 8 choices hit within 64 hashes
+}
+
+TEST(PathCacheTest, CachesPerPair) {
+  Rng rng(3);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 20, .ports_per_switch = 8, .network_degree = 5}, rng);
+  PathCache cache(topo.switches(), {Scheme::kKsp, 4});
+  const auto& a = cache.paths(0, 5);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(cache.pairs_cached(), 1u);
+  const auto& b = cache.paths(0, 5);
+  EXPECT_EQ(&a, &b);  // same object, no recompute
+  cache.paths(5, 0);
+  EXPECT_EQ(cache.pairs_cached(), 2u);  // directions are distinct entries
+}
+
+TEST(Diversity, CountsPathsPerLink) {
+  // Line graph 0-1-2: one pair (0,2), one path, both directed links on it.
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  flow::LinkIndex links(g);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs{{0, 2}};
+  auto counts = link_path_counts(g, links, pairs, {Scheme::kKsp, 4});
+  EXPECT_EQ(counts[links.id(0, 1)], 1);
+  EXPECT_EQ(counts[links.id(1, 2)], 1);
+  EXPECT_EQ(counts[links.id(1, 0)], 0);  // reverse direction unused
+  EXPECT_EQ(counts[links.id(2, 1)], 0);
+}
+
+TEST(Diversity, KspSpreadsMoreThanEcmp) {
+  // The paper's Fig. 9 shape at small scale: under ECMP more links sit on
+  // few paths than under 8-shortest-paths.
+  Rng rng(4);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 40, .ports_per_switch = 10, .network_degree = 6}, rng);
+  auto tm = traffic::random_permutation(topo.num_servers(), rng);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (const auto& f : tm.flows) {
+    pairs.emplace_back(topo.server_switch(f.src_server), topo.server_switch(f.dst_server));
+  }
+  flow::LinkIndex links(topo.switches());
+  auto ecmp = link_path_counts(topo.switches(), links, pairs, {Scheme::kEcmp, 8});
+  auto ksp = link_path_counts(topo.switches(), links, pairs, {Scheme::kKsp, 8});
+  EXPECT_GT(fraction_at_or_below(ecmp, 2), fraction_at_or_below(ksp, 2));
+}
+
+TEST(Diversity, RankedIsSorted) {
+  std::vector<int> counts{5, 1, 3, 2};
+  auto r = ranked(counts);
+  EXPECT_EQ(r, (std::vector<int>{1, 2, 3, 5}));
+  EXPECT_DOUBLE_EQ(fraction_at_or_below(r, 2), 0.5);
+}
+
+TEST(Diversity, FattreeEcmpIsDiverse) {
+  // In a fat-tree, ECMP has k/2 * k/2 equal-cost inter-pod paths; links
+  // should rarely be starved of path diversity.
+  auto ft = topo::build_fattree(4);
+  Rng rng(5);
+  auto tm = traffic::random_permutation(ft.num_servers(), rng);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (const auto& f : tm.flows) {
+    pairs.emplace_back(ft.server_switch(f.src_server), ft.server_switch(f.dst_server));
+  }
+  flow::LinkIndex links(ft.switches());
+  auto counts = link_path_counts(ft.switches(), links, pairs, {Scheme::kEcmp, 8});
+  int on_some_path = 0;
+  for (int c : counts) on_some_path += c > 0 ? 1 : 0;
+  EXPECT_GT(on_some_path, 0);
+}
+
+}  // namespace
+}  // namespace jf::routing

@@ -1,0 +1,30 @@
+// End-to-end smoke checks: every subsystem is reachable through the facade.
+#include <gtest/gtest.h>
+
+#include "core/jellyfish_network.h"
+
+namespace jf {
+namespace {
+
+TEST(Smoke, BuildEvaluateExpand) {
+  auto net = core::JellyfishNetwork::build({.switches = 20, .ports = 8, .servers = 60,
+                                            .seed = 42});
+  EXPECT_EQ(net.num_switches(), 20);
+  EXPECT_EQ(net.num_servers(), 60);
+
+  auto stats = net.path_stats();
+  EXPECT_TRUE(stats.connected);
+  EXPECT_GE(stats.diameter, 1);
+
+  const double tput = net.throughput(1);
+  EXPECT_GT(tput, 0.0);
+  EXPECT_LE(tput, 1.0);
+
+  net.add_rack(8, 3);
+  EXPECT_EQ(net.num_switches(), 21);
+  EXPECT_EQ(net.num_servers(), 63);
+  EXPECT_TRUE(net.path_stats().connected);
+}
+
+}  // namespace
+}  // namespace jf

@@ -1,0 +1,96 @@
+// Tests for traffic-matrix generation and switch-level aggregation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace jf::traffic {
+namespace {
+
+TEST(Permutation, IsDerangement) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto tm = random_permutation(17, rng);
+    ASSERT_EQ(tm.flows.size(), 17u);
+    std::set<int> dsts;
+    for (const auto& f : tm.flows) {
+      EXPECT_NE(f.src_server, f.dst_server);
+      dsts.insert(f.dst_server);
+      EXPECT_DOUBLE_EQ(f.demand, 1.0);
+    }
+    EXPECT_EQ(dsts.size(), 17u);  // every server receives exactly once
+  }
+}
+
+TEST(Permutation, TwoServers) {
+  Rng rng(2);
+  auto tm = random_permutation(2, rng);
+  EXPECT_EQ(tm.flows[0].dst_server, 1);
+  EXPECT_EQ(tm.flows[1].dst_server, 0);
+  EXPECT_THROW(random_permutation(1, rng), std::invalid_argument);
+}
+
+TEST(Permutation, CustomDemand) {
+  Rng rng(3);
+  auto tm = random_permutation(5, rng, 2.5);
+  for (const auto& f : tm.flows) EXPECT_DOUBLE_EQ(f.demand, 2.5);
+}
+
+TEST(AllToAll, CountsAndNormalization) {
+  auto tm = all_to_all(4, 1.0, /*normalize=*/true);
+  EXPECT_EQ(tm.flows.size(), 12u);
+  double out0 = 0;
+  for (const auto& f : tm.flows) {
+    if (f.src_server == 0) out0 += f.demand;
+  }
+  EXPECT_NEAR(out0, 1.0, 1e-12);
+  auto raw = all_to_all(4, 1.0, /*normalize=*/false);
+  EXPECT_DOUBLE_EQ(raw.flows[0].demand, 1.0);
+}
+
+TEST(Hotspot, FanInRespected) {
+  Rng rng(4);
+  auto tm = hotspot(20, 2, 5, rng);
+  EXPECT_EQ(tm.flows.size(), 10u);
+  std::map<int, int> per_dst;
+  for (const auto& f : tm.flows) {
+    EXPECT_NE(f.src_server, f.dst_server);
+    ++per_dst[f.dst_server];
+  }
+  EXPECT_EQ(per_dst.size(), 2u);
+  for (const auto& [dst, count] : per_dst) EXPECT_EQ(count, 5);
+}
+
+TEST(Aggregation, MergesAndDropsIntraRack) {
+  Rng rng(5);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 5, .ports_per_switch = 8, .network_degree = 4}, rng);
+  // 4 servers per switch. Build a hand-made TM: two flows on the same switch
+  // pair, one intra-rack flow.
+  TrafficMatrix tm;
+  tm.flows.push_back({0, 4, 1.0});   // switch 0 -> switch 1
+  tm.flows.push_back({1, 5, 1.0});   // switch 0 -> switch 1 (merges)
+  tm.flows.push_back({2, 3, 1.0});   // intra-rack (dropped)
+  auto cs = to_switch_commodities(topo, tm);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].src_switch, 0);
+  EXPECT_EQ(cs[0].dst_switch, 1);
+  EXPECT_DOUBLE_EQ(cs[0].demand, 2.0);
+}
+
+TEST(Aggregation, DirectionsKeptSeparate) {
+  Rng rng(6);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 5, .ports_per_switch = 8, .network_degree = 4}, rng);
+  TrafficMatrix tm;
+  tm.flows.push_back({0, 4, 1.0});  // 0 -> 1
+  tm.flows.push_back({4, 0, 1.0});  // 1 -> 0
+  auto cs = to_switch_commodities(topo, tm);
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace jf::traffic
