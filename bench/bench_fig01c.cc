@@ -3,86 +3,48 @@
 //
 // Paper's headline numbers: >99.5% of Jellyfish server pairs are reachable
 // in < 6 hops; only ~7.5% of fat-tree pairs are.
+//
+// Ported to jf::eval: one Scenario describes both topology families and the
+// 10 trials; the engine builds every (topology, seed) cell in parallel and
+// the kServerCdf metric emits the weighted server-pair CDF directly.
 #include <iostream>
 
-#include "common/rng.h"
 #include "common/table.h"
-#include "graph/algorithms.h"
+#include "eval/engine.h"
 #include "topo/fattree.h"
-#include "topo/jellyfish.h"
-
-namespace {
-
-// Server-to-server path length = switch distance + 2 (host links on each
-// end); distribution weighted by server counts at each switch.
-std::map<int, double> server_pair_cdf(const jf::topo::Topology& topo) {
-  std::map<int, double> hist;  // switch distance -> weighted pair count
-  double total = 0.0;
-  for (jf::topo::NodeId s = 0; s < topo.num_switches(); ++s) {
-    if (topo.servers_at(s) == 0) continue;
-    auto dist = jf::graph::bfs_distances(topo.switches(), s);
-    for (jf::topo::NodeId t = 0; t < topo.num_switches(); ++t) {
-      if (dist[t] == jf::graph::kUnreachable) continue;
-      double pairs = static_cast<double>(topo.servers_at(s)) * topo.servers_at(t);
-      if (s == t) pairs = static_cast<double>(topo.servers_at(s)) * (topo.servers_at(s) - 1);
-      if (pairs <= 0) continue;
-      hist[dist[t] + 2] += pairs;  // +2 for the two server-ToR hops
-      total += pairs;
-    }
-  }
-  std::map<int, double> cdf;
-  double cum = 0.0;
-  for (auto& [len, cnt] : hist) {
-    cum += cnt;
-    cdf[len] = cum / total;
-  }
-  return cdf;
-}
-
-}  // namespace
 
 int main() {
   using namespace jf;
   const int k = 14;  // fat-tree port count -> 686 servers, 245 switches
-  auto ft = topo::build_fattree(k);
+  const int switches = topo::fattree_switches(k);
+  const int servers = topo::fattree_servers(k);
 
-  // Jellyfish on identical equipment: 245 switches x 14 ports, 686 servers.
-  Rng rng(20120425);
-  std::map<int, double> jf_cdf;
-  const int trials = 10;
-  for (int t = 0; t < trials; ++t) {
-    Rng trial = rng.fork(t);
-    auto jelly = topo::build_jellyfish_with_servers(ft.num_switches(), k, ft.num_servers(),
-                                                    trial);
-    for (auto& [len, frac] : server_pair_cdf(jelly)) jf_cdf[len] += frac / trials;
-  }
-  auto ft_cdf = server_pair_cdf(ft);
+  eval::Scenario s;
+  s.name = "fig01c";
+  s.topologies = {
+      {.family = "jellyfish", .switches = switches, .ports = k, .servers = servers},
+      {.family = "fattree", .fattree_k = k},
+  };
+  s.metrics = {eval::Metric::kServerCdf};
+  s.seeds.clear();
+  for (int t = 0; t < 10; ++t) s.seeds.push_back(20120425 + t);
+
+  auto report = eval::Engine().run(s);
 
   print_banner(std::cout, "Figure 1(c): fraction of server pairs reachable within path length");
-  std::cout << "equipment: " << ft.num_switches() << " switches x " << k << " ports, "
-            << ft.num_servers() << " servers\n";
+  std::cout << "equipment: " << switches << " switches x " << k << " ports, " << servers
+            << " servers\n";
   Table table({"path_len", "jellyfish_cdf", "fattree_cdf"});
+  auto mean_at = [&](int topo, int len) {
+    return summarize(report.series(topo, -1, "server_cdf_le" + std::to_string(len))).mean;
+  };
   for (int len = 2; len <= 6; ++len) {
-    auto at = [&](const std::map<int, double>& cdf) {
-      double v = 0.0;
-      for (auto& [l, f] : cdf) {
-        if (l <= len) v = f;
-      }
-      return v;
-    };
-    table.add_row({Table::fmt(len), Table::fmt(at(jf_cdf)), Table::fmt(at(ft_cdf))});
+    table.add_row({Table::fmt(len), Table::fmt(mean_at(0, len)), Table::fmt(mean_at(1, len))});
   }
   table.print(std::cout);
   table.print_csv(std::cout);
 
-  double jf5 = 0, ft5 = 0;
-  for (auto& [l, f] : jf_cdf) {
-    if (l <= 5) jf5 = f;
-  }
-  for (auto& [l, f] : ft_cdf) {
-    if (l <= 5) ft5 = f;
-  }
-  std::cout << "\npaper shape check: Jellyfish reachable in <6 hops: " << jf5 * 100
-            << "% (paper >99.5%), fat-tree: " << ft5 * 100 << "% (paper ~7.5%)\n";
+  std::cout << "\npaper shape check: Jellyfish reachable in <6 hops: " << mean_at(0, 5) * 100
+            << "% (paper >99.5%), fat-tree: " << mean_at(1, 5) * 100 << "% (paper ~7.5%)\n";
   return 0;
 }

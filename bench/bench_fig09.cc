@@ -5,66 +5,52 @@
 // 8-way ECMP, 64-way ECMP, and 8-shortest-path routing for one random
 // permutation. Paper shape: under ECMP ~55% of links are on <= 2 paths;
 // under 8-SP only ~6% are.
+//
+// Ported to jf::eval: the three routing schemes are one Scenario axis; the
+// kLinkDiversity metric evaluates each scheme's PathProvider against the
+// same sampled permutation.
 #include <iostream>
 
-#include "common/rng.h"
 #include "common/table.h"
-#include "flow/maxmin.h"
-#include "routing/diversity.h"
+#include "eval/engine.h"
 #include "topo/fattree.h"
-#include "topo/jellyfish.h"
-#include "traffic/traffic.h"
 
 int main() {
   using namespace jf;
   const int k = 14;  // fat-tree equipment: 245 switches, 686 servers
   const int switches = topo::fattree_switches(k);
   const int servers = topo::fattree_servers(k);
-  Rng rng(909);
 
-  auto jelly = topo::build_jellyfish_with_servers(switches, k, servers, rng);
-  auto tm = traffic::random_permutation(servers, rng);
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
-  for (const auto& f : tm.flows) {
-    pairs.emplace_back(jelly.server_switch(f.src_server), jelly.server_switch(f.dst_server));
-  }
-  flow::LinkIndex links(jelly.switches());
+  eval::Scenario s;
+  s.name = "fig09";
+  s.topologies = {
+      {.family = "jellyfish", .switches = switches, .ports = k, .servers = servers}};
+  s.routings = {{"ecmp", 8}, {"ecmp", 64}, {"ksp", 8}};
+  s.metrics = {eval::Metric::kLinkDiversity};
+  s.seeds = {909};
 
-  struct SchemeRow {
-    std::string name;
-    routing::RoutingOptions opts;
-  };
-  const SchemeRow schemes[] = {
-      {"ecmp-8", {routing::Scheme::kEcmp, 8}},
-      {"ecmp-64", {routing::Scheme::kEcmp, 64}},
-      {"ksp-8", {routing::Scheme::kKsp, 8}},
-  };
+  auto report = eval::Engine().run(s);
 
   print_banner(std::cout, "Figure 9: #distinct paths per directed link (ranked)");
   Table table({"scheme", "frac_links_<=2_paths", "mean_paths", "p50", "p90", "max"});
-  std::vector<std::vector<int>> ranked_all;
-  for (const auto& s : schemes) {
-    auto counts = routing::link_path_counts(jelly.switches(), links, pairs, s.opts);
-    auto r = routing::ranked(counts);
-    ranked_all.push_back(r);
-    double mean = 0;
-    for (int c : r) mean += c;
-    mean /= static_cast<double>(r.size());
-    table.add_row({s.name, Table::fmt(routing::fraction_at_or_below(counts, 2)),
-                   Table::fmt(mean, 2), Table::fmt(r[r.size() / 2]),
-                   Table::fmt(r[r.size() * 9 / 10]), Table::fmt(r.back())});
-    std::cout << "  [" << s.name << " done]\n";
+  auto value = [&](int routing, const std::string& metric) {
+    return summarize(report.series(0, routing, metric)).mean;
+  };
+  for (int r = 0; r < static_cast<int>(s.routings.size()); ++r) {
+    table.add_row({report.routing_labels[static_cast<std::size_t>(r)],
+                   Table::fmt(value(r, "div_frac_le2")), Table::fmt(value(r, "div_mean"), 2),
+                   Table::fmt(value(r, "div_p50")), Table::fmt(value(r, "div_p90")),
+                   Table::fmt(value(r, "div_max"))});
   }
   table.print(std::cout);
   table.print_csv(std::cout);
 
   // Ranked series sampled at deciles (the paper's x-axis is link rank).
   Table series({"rank_pct", "ecmp8", "ecmp64", "ksp8"});
-  const std::size_t n = ranked_all[0].size();
   for (int pct = 0; pct <= 100; pct += 10) {
-    const std::size_t idx = std::min(n - 1, n * pct / 100);
-    series.add_row({Table::fmt(pct), Table::fmt(ranked_all[0][idx]),
-                    Table::fmt(ranked_all[1][idx]), Table::fmt(ranked_all[2][idx])});
+    const std::string metric = "div_rank_p" + std::to_string(pct);
+    series.add_row({Table::fmt(pct), Table::fmt(value(0, metric)),
+                    Table::fmt(value(1, metric)), Table::fmt(value(2, metric))});
   }
   series.print(std::cout);
   series.print_csv(std::cout);

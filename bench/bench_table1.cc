@@ -6,71 +6,62 @@
 // transport does at least as well on Jellyfish as on the fat-tree.
 // Reproduced at reduced scale (DESIGN.md §3): fat-tree k = 8 (128 servers,
 // 80 switches), Jellyfish with +14% servers (146) on identical equipment.
+//
+// Ported to jf::eval: each transport row is one Scenario over the full
+// {fat-tree, jellyfish} x {ecmp-8, ksp-8} grid, with 3 seeds as the
+// repetition axis; cells run in parallel on the engine's thread pool.
 #include <iostream>
 
-#include "common/rng.h"
-#include "common/stats.h"
 #include "common/table.h"
-#include "sim/workload.h"
+#include "eval/engine.h"
 #include "topo/fattree.h"
-#include "topo/jellyfish.h"
 
 int main() {
   using namespace jf;
   const int k = 8;
   const int switches = topo::fattree_switches(k);  // 80
-  [[maybe_unused]] const int ft_servers = topo::fattree_servers(k);  // 128
   const int jf_servers = 146;                      // +14%, the paper's TCP ratio
-  const int runs = 3;
-  Rng rng(11);
 
-  struct Cell {
+  struct Row {
     std::string transport;
     sim::Transport kind;
     int conns;
     int subflows;
   };
-  const Cell cells[] = {
+  const Row rows[] = {
       {"tcp-1flow", sim::Transport::kTcp, 1, 1},
       {"tcp-8flows", sim::Transport::kTcp, 8, 1},
       {"mptcp-8sub", sim::Transport::kMptcp, 1, 8},
   };
 
-  auto run_cell = [&](const topo::Topology& topo, routing::Scheme scheme, const Cell& cell,
-                      std::uint64_t salt) {
-    double mean = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      Rng r = rng.fork(salt * 97 + static_cast<std::uint64_t>(run));
-      sim::WorkloadConfig cfg;
-      cfg.routing = {scheme, 8};
-      cfg.transport = cell.kind;
-      cfg.parallel_connections = cell.conns;
-      cfg.subflows = cell.subflows;
-      auto res = sim::run_permutation_workload(topo, cfg, r);
-      mean += res.mean_flow_throughput / runs;
-    }
-    return mean * 100.0;  // percent of NIC rate
-  };
-
   print_banner(std::cout, "Table 1: avg per-server throughput (% of NIC rate), packet-level");
-  Table table({"congestion_control", "fattree_ecmp", "jellyfish_ecmp", "jellyfish_8sp"});
-  Rng topo_rng = rng.fork(1);
-  auto ft = topo::build_fattree(k);
-  auto jelly = topo::build_jellyfish_with_servers(switches, k, jf_servers, topo_rng);
-  std::cout << "fat-tree: " << ft.num_servers() << " servers; jellyfish: "
-            << jelly.num_servers() << " servers (same equipment: " << switches << " x " << k
-            << "-port switches)\n";
+  std::cout << "fat-tree: " << topo::fattree_servers(k) << " servers; jellyfish: " << jf_servers
+            << " servers (same equipment: " << switches << " x " << k << "-port switches)\n";
 
-  int salt = 0;
-  for (const auto& cell : cells) {
-    const double ft_ecmp = run_cell(ft, routing::Scheme::kEcmp, cell, ++salt);
-    std::cout << "  [" << cell.transport << " fat-tree done]\n";
-    const double jf_ecmp = run_cell(jelly, routing::Scheme::kEcmp, cell, ++salt);
-    std::cout << "  [" << cell.transport << " jellyfish-ecmp done]\n";
-    const double jf_ksp = run_cell(jelly, routing::Scheme::kKsp, cell, ++salt);
-    std::cout << "  [" << cell.transport << " jellyfish-8sp done]\n";
-    table.add_row({cell.transport, Table::fmt(ft_ecmp, 1), Table::fmt(jf_ecmp, 1),
-                   Table::fmt(jf_ksp, 1)});
+  Table table({"congestion_control", "fattree_ecmp", "fattree_8sp", "jellyfish_ecmp",
+               "jellyfish_8sp"});
+  for (const auto& row : rows) {
+    eval::Scenario s;
+    s.name = "table1-" + row.transport;
+    s.topologies = {
+        {.family = "fattree", .label = "fattree", .fattree_k = k},
+        {.family = "jellyfish", .label = "jellyfish", .switches = switches, .ports = k,
+         .servers = jf_servers},
+    };
+    s.routings = {{"ecmp", 8}, {"ksp", 8}};
+    s.metrics = {eval::Metric::kPacketSim};
+    s.seeds = {11, 12, 13};
+    s.sim.transport = row.kind;
+    s.sim.parallel_connections = row.conns;
+    s.sim.subflows = row.subflows;
+
+    auto report = eval::Engine().run(s);
+    auto pct = [&](int topo, int routing) {
+      return summarize(report.series(topo, routing, "sim_goodput")).mean * 100.0;
+    };
+    table.add_row({row.transport, Table::fmt(pct(0, 0), 1), Table::fmt(pct(0, 1), 1),
+                   Table::fmt(pct(1, 0), 1), Table::fmt(pct(1, 1), 1)});
+    std::cout << "  [" << row.transport << " done]\n";
   }
   table.print(std::cout);
   table.print_csv(std::cout);

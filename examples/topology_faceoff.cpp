@@ -2,60 +2,54 @@
 //
 //   $ ./topology_faceoff
 //
-// Builds a fat-tree, a same-equipment Jellyfish, and SWDC variants, then
-// compares path lengths, fluid throughput, and failure resilience — the
-// paper's §4 evaluation in one command.
+// One jf::eval Scenario compares three topology families under two routing
+// schemes across a multi-seed batch — path lengths, optimal fluid
+// throughput, and scheme-restricted throughput — the paper's §4/§5
+// evaluation in one Engine::run call, parallelized across seeds.
 #include <iostream>
 
-#include "common/rng.h"
 #include "common/table.h"
-#include "flow/throughput.h"
-#include "graph/algorithms.h"
+#include "core/jellyfish_network.h"
+#include "eval/engine.h"
 #include "topo/fattree.h"
 #include "topo/jellyfish.h"
-#include "topo/swdc.h"
 
 int main() {
   using namespace jf;
   const int k = 8;  // fat-tree parameter: 80 switches, 128 servers
-  Rng rng(11);
+  const int switches = topo::fattree_switches(k);
+  const int servers = topo::fattree_servers(k);
 
-  auto ft = topo::build_fattree(k);
-  Rng jf_rng = rng.fork(1);
-  auto jelly = topo::build_jellyfish_with_servers(topo::fattree_switches(k), k,
-                                                  ft.num_servers(), jf_rng);
-  Rng sw_rng = rng.fork(2);
-  auto swdc = topo::build_swdc({.lattice = topo::SwdcLattice::kRing,
-                                .num_switches = topo::fattree_switches(k),
-                                .degree = 6,
-                                .ports_per_switch = k,
-                                .servers_per_switch = 2},
-                               sw_rng);
-
-  print_banner(std::cout, "Same-equipment topology comparison");
-  Table table({"topology", "switches", "servers", "mean_path", "diameter", "throughput"});
-  auto add = [&](const topo::Topology& t, std::uint64_t salt) {
-    auto stats = graph::path_length_stats(t.switches());
-    Rng r = rng.fork(salt);
-    const double tput = flow::mean_permutation_throughput(t, r, 2, {});
-    table.add_row({t.name(), Table::fmt(t.num_switches()), Table::fmt(t.num_servers()),
-                   Table::fmt(stats.mean), Table::fmt(stats.diameter), Table::fmt(tput)});
+  eval::Scenario s;
+  s.name = "topology faceoff";
+  s.topologies = {
+      {.family = "fattree", .fattree_k = k},
+      {.family = "jellyfish", .switches = switches, .ports = k, .servers = servers},
+      {.family = "swdc-ring", .switches = switches, .ports = k, .degree = 6,
+       .servers_per_switch = 2},
   };
-  add(ft, 10);
-  add(jelly, 11);
-  add(swdc, 12);
-  table.print(std::cout);
+  s.routings = {{"ecmp", 8}, {"ksp", 8}};
+  s.metrics = {eval::Metric::kPathStats, eval::Metric::kThroughput,
+               eval::Metric::kRoutedThroughput};
+  s.seeds = {11, 12};
 
-  // Resilience spot-check (paper Fig. 8): fail 15% of links on each.
+  print_banner(std::cout, "Same-equipment topology comparison (one Scenario, one run)");
+  auto report = eval::Engine().run(s);
+  report.to_table().print(std::cout);
+
+  // Resilience spot-check (paper Fig. 8) via the single-network facade:
+  // fail 15% of links and re-measure.
   print_banner(std::cout, "Throughput after failing 15% of links");
   Table resil({"topology", "before", "after"});
-  for (const auto* t : {&ft, &jelly}) {
-    Rng r = rng.fork(t == &ft ? 20 : 21);
-    topo::Topology copy = *t;
-    const double before = flow::permutation_throughput(copy, r, {});
-    topo::fail_random_links(copy, 0.15, r);
-    const double after = flow::permutation_throughput(copy, r, {});
-    resil.add_row({copy.name(), Table::fmt(before), Table::fmt(after)});
+  for (std::uint64_t salt : {20ULL, 21ULL}) {
+    auto net = salt == 20
+                   ? core::JellyfishNetwork::wrap(topo::build_fattree(k), salt)
+                   : core::JellyfishNetwork::build(
+                         {.switches = switches, .ports = k, .servers = servers, .seed = salt});
+    const double before = net.throughput();
+    net.fail_links(0.15);
+    const double after = net.throughput();
+    resil.add_row({net.topology().name(), Table::fmt(before), Table::fmt(after)});
   }
   resil.print(std::cout);
   std::cout << "\nTakeaway (paper §4): the random graph packs more capacity and degrades\n"

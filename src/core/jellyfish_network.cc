@@ -1,8 +1,7 @@
 #include "core/jellyfish_network.h"
 
 #include "common/check.h"
-#include "flow/bisection.h"
-#include "flow/throughput.h"
+#include "eval/engine.h"
 #include "topo/jellyfish.h"
 
 namespace jf::core {
@@ -34,33 +33,24 @@ int JellyfishNetwork::fail_links(double fraction) {
 }
 
 graph::PathLengthStats JellyfishNetwork::path_stats() const {
-  return graph::path_length_stats(topo_.switches());
+  return eval::Engine::path_stats(topo_);
 }
 
 double JellyfishNetwork::throughput(int samples, const flow::McfOptions& opts) const {
-  return flow::mean_permutation_throughput(topo_, rng_, samples, opts);
+  return eval::Engine::throughput(topo_, rng_, samples, opts);
+}
+
+double JellyfishNetwork::routed_throughput(const routing::RoutingSpec& routing, int samples,
+                                           const flow::McfOptions& opts) const {
+  return eval::Engine::routed_throughput(topo_, routing, rng_, samples, opts);
 }
 
 double JellyfishNetwork::bisection_bandwidth() const {
-  // Uniform network degree: use the analytic RRG bound; otherwise fall back
-  // to the KL heuristic cut.
-  const auto& g = topo_.switches();
-  bool uniform = true;
-  const int r0 = g.num_nodes() > 0 ? g.degree(0) : 0;
-  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
-    if (g.degree(v) != r0) {
-      uniform = false;
-      break;
-    }
-  }
-  if (uniform && g.num_nodes() >= 2 && topo_.num_servers() > 0) {
-    return flow::rrg_normalized_bisection(g.num_nodes(), r0, topo_.num_servers());
-  }
-  return flow::estimated_normalized_bisection(topo_, rng_, /*restarts=*/5);
+  return eval::Engine::bisection_bandwidth(topo_, rng_);
 }
 
 sim::WorkloadResult JellyfishNetwork::packet_sim(const sim::WorkloadConfig& cfg) const {
-  return sim::run_permutation_workload(topo_, cfg, rng_);
+  return eval::Engine::packet_sim(topo_, cfg, rng_);
 }
 
 std::vector<layout::CableSpec> JellyfishNetwork::cabling_blueprint() const {

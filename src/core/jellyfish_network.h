@@ -1,10 +1,11 @@
 // Public facade: one object that builds, grows, and evaluates a Jellyfish
 // data-center network.
 //
-// This is the API downstream users program against (see examples/). It wraps
-// the lower-level libraries — topo (construction/expansion), flow (capacity),
-// routing (path systems), sim (packet-level behavior), layout (cabling) —
-// behind the operations a network operator cares about:
+// This is the single-network convenience API (see examples/). Evaluation
+// methods are thin wrappers over the jf::eval engine (eval/engine.h), which
+// is the primary interface for anything beyond one topology and one call:
+// multi-topology / multi-routing-scheme comparisons, multi-seed batches, and
+// parallel execution all go through eval::Scenario + eval::Engine.
 //
 //   auto net = jf::core::JellyfishNetwork::build({.switches=120, .ports=24,
 //                                                 .servers=960, .seed=7});
@@ -21,6 +22,7 @@
 #include "flow/mcf.h"
 #include "graph/algorithms.h"
 #include "layout/cabling.h"
+#include "routing/path_provider.h"
 #include "sim/workload.h"
 #include "topo/topology.h"
 
@@ -67,6 +69,11 @@ class JellyfishNetwork {
   // Mean normalized throughput over `samples` random permutations under
   // optimal (fluid multi-commodity) routing; 1.0 = every NIC saturated.
   double throughput(int samples = 1, const flow::McfOptions& opts = {}) const;
+
+  // Same, but flows are confined to the paths a routing scheme installs
+  // (e.g. {"ecmp", 8} or {"ksp", 8}) — the fluid analog of Table 1.
+  double routed_throughput(const routing::RoutingSpec& routing, int samples = 1,
+                           const flow::McfOptions& opts = {}) const;
 
   // Bollobás bisection lower bound if the network degree is uniform, else a
   // Kernighan-Lin cut estimate. Normalized to server capacity per partition.

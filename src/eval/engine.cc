@@ -1,0 +1,285 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+#include "eval/thread_pool.h"
+#include "eval/topology_factory.h"
+#include "flow/bisection.h"
+#include "flow/restricted.h"
+#include "flow/throughput.h"
+#include "routing/diversity.h"
+#include "traffic/traffic.h"
+
+namespace jf::eval {
+
+namespace {
+
+// RNG stream tags. Cells fork every stream from Rng(seed) with a tag mixed
+// with the cell indices, which is what makes results independent of the
+// cell-to-thread assignment.
+constexpr std::uint64_t kTopoStream = 0x1000'0000ULL;
+constexpr std::uint64_t kTrafficStream = 0x2000'0000ULL;
+constexpr std::uint64_t kBisectionStream = 0x3000'0000ULL;
+constexpr std::uint64_t kSimStream = 0x4000'0000ULL;
+
+// Traffic for sample `k` of (seed, topo) — deliberately independent of the
+// routing index so every routing scheme sees identical matrices.
+Rng traffic_rng(std::uint64_t seed, int topo_idx, int k) {
+  return Rng(seed).fork(kTrafficStream + static_cast<std::uint64_t>(topo_idx) * 4096 +
+                        static_cast<std::uint64_t>(k));
+}
+
+double fluid_throughput(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                        const flow::McfOptions& mcf) {
+  auto commodities = traffic::to_switch_commodities(topo, tm);
+  return std::min(1.0, flow::max_concurrent_flow(topo.switches(), commodities, mcf).lambda);
+}
+
+double routed_fluid_throughput(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                               routing::PathProvider& routes, const flow::McfOptions& mcf) {
+  auto commodities = traffic::to_switch_commodities(topo, tm);
+  return std::min(
+      1.0, flow::restricted_max_concurrent_flow(topo.switches(), commodities, routes, mcf)
+               .lambda);
+}
+
+// One (topology[, routing], seed) work unit.
+struct Cell {
+  int topo = 0;
+  int routing = -1;  // -1: evaluates the routing-independent metrics
+  std::uint64_t seed = 0;
+};
+
+std::vector<Sample> run_cell(const Scenario& s, const Cell& cell) {
+  std::vector<Sample> out;
+  auto emit = [&](const std::string& metric, int sample, double v) {
+    out.push_back({cell.topo, cell.routing, cell.seed, sample, metric, v});
+  };
+
+  Rng seed_rng(cell.seed);
+  Rng topo_rng = seed_rng.fork(kTopoStream + static_cast<std::uint64_t>(cell.topo));
+  auto topo = build_topology(s.topologies[static_cast<std::size_t>(cell.topo)], topo_rng);
+
+  if (cell.routing < 0) {
+    for (Metric m : s.metrics) {
+      if (metric_needs_routing(m)) continue;
+      switch (m) {
+        case Metric::kPathStats: {
+          auto stats = Engine::path_stats(topo);
+          emit("mean_path", 0, stats.mean);
+          emit("diameter", 0, static_cast<double>(stats.diameter));
+          break;
+        }
+        case Metric::kServerCdf: {
+          auto cdf = Engine::server_path_cdf(topo);
+          for (int len = 2; len <= 6; ++len) {
+            double v = 0.0;
+            for (const auto& [l, f] : cdf) {
+              if (l <= len) v = f;
+            }
+            emit("server_cdf_le" + std::to_string(len), 0, v);
+          }
+          break;
+        }
+        case Metric::kThroughput: {
+          for (int k = 0; k < s.samples_per_seed; ++k) {
+            Rng tr = traffic_rng(cell.seed, cell.topo, k);
+            auto tm = s.traffic.sample(topo.num_servers(), tr);
+            emit("throughput", k, fluid_throughput(topo, tm, s.mcf));
+          }
+          break;
+        }
+        case Metric::kBisection: {
+          Rng br = seed_rng.fork(kBisectionStream + static_cast<std::uint64_t>(cell.topo));
+          emit("bisection", 0, Engine::bisection_bandwidth(topo, br));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return out;
+  }
+
+  auto routes = routing::make_path_provider(
+      topo.switches(), s.routings[static_cast<std::size_t>(cell.routing)]);
+  for (Metric m : s.metrics) {
+    if (!metric_needs_routing(m)) continue;
+    switch (m) {
+      case Metric::kRoutedThroughput: {
+        for (int k = 0; k < s.samples_per_seed; ++k) {
+          Rng tr = traffic_rng(cell.seed, cell.topo, k);
+          auto tm = s.traffic.sample(topo.num_servers(), tr);
+          emit("routed_throughput", k, routed_fluid_throughput(topo, tm, *routes, s.mcf));
+        }
+        break;
+      }
+      case Metric::kLinkDiversity: {
+        flow::LinkIndex links(topo.switches());
+        for (int k = 0; k < s.samples_per_seed; ++k) {
+          Rng tr = traffic_rng(cell.seed, cell.topo, k);
+          auto tm = s.traffic.sample(topo.num_servers(), tr);
+          std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+          pairs.reserve(tm.flows.size());
+          for (const auto& f : tm.flows) {
+            pairs.emplace_back(topo.server_switch(f.src_server),
+                               topo.server_switch(f.dst_server));
+          }
+          auto counts = routing::link_path_counts(links, pairs, *routes);
+          auto r = routing::ranked(counts);
+          double mean = 0.0;
+          for (int c : r) mean += c;
+          mean /= static_cast<double>(r.empty() ? 1 : r.size());
+          emit("div_frac_le2", k, routing::fraction_at_or_below(counts, 2));
+          emit("div_mean", k, mean);
+          if (!r.empty()) {
+            emit("div_p50", k, static_cast<double>(r[r.size() / 2]));
+            emit("div_p90", k, static_cast<double>(r[r.size() * 9 / 10]));
+            emit("div_max", k, static_cast<double>(r.back()));
+            // Ranked series sampled at deciles (Fig. 9's x-axis is link rank).
+            for (int pct = 0; pct <= 100; pct += 10) {
+              const std::size_t idx =
+                  std::min(r.size() - 1, r.size() * static_cast<std::size_t>(pct) / 100);
+              emit("div_rank_p" + std::to_string(pct), k, static_cast<double>(r[idx]));
+            }
+          }
+        }
+        break;
+      }
+      case Metric::kPacketSim: {
+        for (int k = 0; k < s.samples_per_seed; ++k) {
+          Rng tr = traffic_rng(cell.seed, cell.topo, k);
+          auto tm = s.traffic.sample(topo.num_servers(), tr);
+          Rng sim_rng = seed_rng.fork(kSimStream +
+                                      static_cast<std::uint64_t>(cell.topo) * 262144 +
+                                      static_cast<std::uint64_t>(cell.routing) * 4096 +
+                                      static_cast<std::uint64_t>(k));
+          auto res = sim::run_workload(topo, tm, s.sim, *routes, sim_rng);
+          emit("sim_goodput", k, res.mean_flow_throughput);
+          emit("sim_fairness", k, res.jain_fairness);
+          emit("sim_drops", k, static_cast<double>(res.packet_drops));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report Engine::run(const Scenario& s) const {
+  check(!s.topologies.empty(), "Engine::run: scenario needs >= 1 topology");
+  check(!s.seeds.empty(), "Engine::run: scenario needs >= 1 seed");
+  check(s.samples_per_seed >= 1, "Engine::run: samples_per_seed must be >= 1");
+  check(!s.metrics.empty(), "Engine::run: scenario needs >= 1 metric");
+
+  const bool has_topo_metrics =
+      std::any_of(s.metrics.begin(), s.metrics.end(),
+                  [](Metric m) { return !metric_needs_routing(m); });
+  const bool has_routing_metrics =
+      std::any_of(s.metrics.begin(), s.metrics.end(),
+                  [](Metric m) { return metric_needs_routing(m); });
+  check(!has_routing_metrics || !s.routings.empty(),
+        "Engine::run: routing-dependent metrics need >= 1 routing spec");
+
+  // Canonical cell order: per topology, the routing-free cell block first,
+  // then one block per routing scheme; seeds vary fastest.
+  std::vector<Cell> cells;
+  for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+    if (has_topo_metrics) {
+      for (std::uint64_t seed : s.seeds) cells.push_back({t, -1, seed});
+    }
+    if (has_routing_metrics) {
+      for (int r = 0; r < static_cast<int>(s.routings.size()); ++r) {
+        for (std::uint64_t seed : s.seeds) cells.push_back({t, r, seed});
+      }
+    }
+  }
+
+  std::vector<std::vector<Sample>> results(cells.size());
+  parallel_for(static_cast<int>(cells.size()), opts_.threads,
+               [&](int i) { results[static_cast<std::size_t>(i)] = run_cell(s, cells[i]); });
+
+  Report report;
+  report.scenario = s.name;
+  for (const auto& t : s.topologies) report.topology_labels.push_back(t.display());
+  for (const auto& r : s.routings) report.routing_labels.push_back(r.label());
+  for (auto& cell_samples : results) {
+    for (auto& sample : cell_samples) report.samples.push_back(std::move(sample));
+  }
+  return report;
+}
+
+graph::PathLengthStats Engine::path_stats(const topo::Topology& t) {
+  return graph::path_length_stats(t.switches());
+}
+
+double Engine::throughput(const topo::Topology& t, Rng& rng, int samples,
+                          const flow::McfOptions& mcf) {
+  return flow::mean_permutation_throughput(t, rng, samples, mcf);
+}
+
+double Engine::routed_throughput(const topo::Topology& t, const routing::RoutingSpec& routing,
+                                 Rng& rng, int samples, const flow::McfOptions& mcf) {
+  check(samples >= 1, "Engine::routed_throughput: need >= 1 sample");
+  auto routes = routing::make_path_provider(t.switches(), routing);
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    sum += flow::restricted_permutation_throughput(t, *routes, rng, mcf);
+  }
+  return sum / samples;
+}
+
+double Engine::bisection_bandwidth(const topo::Topology& t, Rng& rng) {
+  // Uniform network degree: use the analytic RRG bound; otherwise fall back
+  // to the KL heuristic cut.
+  const auto& g = t.switches();
+  bool uniform = true;
+  const int r0 = g.num_nodes() > 0 ? g.degree(0) : 0;
+  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) != r0) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform && g.num_nodes() >= 2 && t.num_servers() > 0) {
+    return flow::rrg_normalized_bisection(g.num_nodes(), r0, t.num_servers());
+  }
+  return flow::estimated_normalized_bisection(t, rng, /*restarts=*/5);
+}
+
+sim::WorkloadResult Engine::packet_sim(const topo::Topology& t, const sim::WorkloadConfig& cfg,
+                                       Rng& rng) {
+  return sim::run_permutation_workload(t, cfg, rng);
+}
+
+std::map<int, double> Engine::server_path_cdf(const topo::Topology& t) {
+  std::map<int, double> hist;  // server path length -> weighted pair count
+  double total = 0.0;
+  for (topo::NodeId s = 0; s < t.num_switches(); ++s) {
+    if (t.servers_at(s) == 0) continue;
+    auto dist = graph::bfs_distances(t.switches(), s);
+    for (topo::NodeId v = 0; v < t.num_switches(); ++v) {
+      if (dist[v] == graph::kUnreachable) continue;
+      double pairs = static_cast<double>(t.servers_at(s)) * t.servers_at(v);
+      if (s == v) pairs = static_cast<double>(t.servers_at(s)) * (t.servers_at(s) - 1);
+      if (pairs <= 0) continue;
+      hist[dist[v] + 2] += pairs;  // +2 for the two server-ToR hops
+      total += pairs;
+    }
+  }
+  std::map<int, double> cdf;
+  double cum = 0.0;
+  for (const auto& [len, cnt] : hist) {
+    cum += cnt;
+    cdf[len] = cum / total;
+  }
+  return cdf;
+}
+
+}  // namespace jf::eval

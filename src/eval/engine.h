@@ -1,0 +1,66 @@
+// Scenario execution engine.
+//
+// Engine::run takes a declarative Scenario (topology specs x routing specs x
+// traffic x metrics x seeds) and produces a Report. Work is split into
+// (topology, routing, seed) cells executed on a thread pool; every cell
+// derives its RNG streams purely from the scenario's seed list and cell
+// indices, so reports are byte-identical at any thread count, and traffic
+// matrices are shared across routing schemes of the same (topology, seed)
+// for paired comparisons.
+//
+// The static measurement kernels are the single implementation behind both
+// scenario cells and the core::JellyfishNetwork facade.
+#pragma once
+
+#include <map>
+
+#include "eval/report.h"
+#include "eval/scenario.h"
+#include "graph/algorithms.h"
+#include "sim/workload.h"
+#include "topo/topology.h"
+
+namespace jf::eval {
+
+struct EngineOptions {
+  int threads = 0;  // worker threads; <= 0 selects hardware concurrency
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {}) : opts_(opts) {}
+
+  // Executes the scenario; cells run in parallel, results are deterministic.
+  Report run(const Scenario& s) const;
+
+  // --- measurement kernels (shared with core::JellyfishNetwork) ---
+
+  static graph::PathLengthStats path_stats(const topo::Topology& t);
+
+  // Mean normalized fluid throughput over `samples` random permutations
+  // under optimal (unrestricted MCF) routing.
+  static double throughput(const topo::Topology& t, Rng& rng, int samples,
+                           const flow::McfOptions& mcf = {});
+
+  // Same, restricted to the routing scheme's path sets.
+  static double routed_throughput(const topo::Topology& t, const routing::RoutingSpec& routing,
+                                  Rng& rng, int samples, const flow::McfOptions& mcf = {});
+
+  // Analytic RRG bound when the network degree is uniform, else a KL cut
+  // estimate; normalized to server capacity per partition.
+  static double bisection_bandwidth(const topo::Topology& t, Rng& rng);
+
+  // Packet-level goodput; cfg.routing selects the scheme via the provider
+  // registry.
+  static sim::WorkloadResult packet_sim(const topo::Topology& t,
+                                        const sim::WorkloadConfig& cfg, Rng& rng);
+
+  // Weighted server-pair path-length CDF: P[server-to-server hops <= L],
+  // where hops = switch distance + 2 host links (Fig. 1(c)).
+  static std::map<int, double> server_path_cdf(const topo::Topology& t);
+
+ private:
+  EngineOptions opts_;
+};
+
+}  // namespace jf::eval

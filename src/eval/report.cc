@@ -1,0 +1,53 @@
+#include "eval/report.h"
+
+#include <map>
+#include <tuple>
+
+namespace jf::eval {
+
+std::vector<AggregateRow> Report::aggregates() const {
+  using Key = std::tuple<int, int, std::string>;
+  std::vector<Key> order;
+  std::map<Key, std::vector<double>> groups;
+  for (const auto& s : samples) {
+    Key key{s.topology, s.routing, s.metric};
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.push_back(s.value);
+  }
+  std::vector<AggregateRow> rows;
+  rows.reserve(order.size());
+  for (const auto& key : order) {
+    const auto& [topo, routing, metric] = key;
+    AggregateRow row;
+    row.topology = topology_labels.at(static_cast<std::size_t>(topo));
+    row.routing = routing < 0 ? "-" : routing_labels.at(static_cast<std::size_t>(routing));
+    row.metric = metric;
+    row.summary = summarize(groups.at(key));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<double> Report::series(int topology, int routing,
+                                   const std::string& metric) const {
+  std::vector<double> out;
+  for (const auto& s : samples) {
+    if (s.topology == topology && s.routing == routing && s.metric == metric) {
+      out.push_back(s.value);
+    }
+  }
+  return out;
+}
+
+Table Report::to_table() const {
+  Table table({"topology", "routing", "metric", "mean", "stddev", "min", "max", "n"});
+  for (const auto& row : aggregates()) {
+    table.add_row({row.topology, row.routing, row.metric, Table::fmt(row.summary.mean),
+                   Table::fmt(row.summary.stddev), Table::fmt(row.summary.min),
+                   Table::fmt(row.summary.max), Table::fmt(row.summary.count)});
+  }
+  return table;
+}
+
+}  // namespace jf::eval

@@ -1,0 +1,54 @@
+// Structured results of an Engine::run: raw per-seed samples plus aggregate
+// summaries, renderable as a common::table for the bench drivers.
+//
+// Samples are emitted in a canonical order that depends only on the Scenario
+// (never on thread scheduling), so two runs of the same scenario at any
+// thread counts produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace jf::eval {
+
+// One measured value. `routing` is -1 for routing-independent metrics.
+struct Sample {
+  int topology = 0;        // index into Scenario::topologies
+  int routing = -1;        // index into Scenario::routings, or -1
+  std::uint64_t seed = 0;
+  int sample = 0;          // traffic-matrix index within the seed
+  std::string metric;      // e.g. "throughput", "mean_path", "sim_goodput"
+  double value = 0.0;
+};
+
+// Aggregate over all (seed, sample) observations of one
+// (topology, routing, metric) series.
+struct AggregateRow {
+  std::string topology;
+  std::string routing;  // "-" for routing-independent metrics
+  std::string metric;
+  Summary summary;
+};
+
+struct Report {
+  std::string scenario;
+  std::vector<std::string> topology_labels;
+  std::vector<std::string> routing_labels;
+  std::vector<Sample> samples;
+
+  // Summaries grouped by (topology, routing, metric), in first-appearance
+  // order of the samples (i.e. canonical scenario order).
+  std::vector<AggregateRow> aggregates() const;
+
+  // Values of one series across seeds/samples, in canonical order.
+  std::vector<double> series(int topology, int routing, const std::string& metric) const;
+
+  // Aggregate table: topology | routing | metric | mean | stddev | min | max | n.
+  Table to_table() const;
+};
+
+}  // namespace jf::eval

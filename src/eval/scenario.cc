@@ -1,0 +1,55 @@
+#include "eval/scenario.h"
+
+#include "common/check.h"
+
+namespace jf::eval {
+
+traffic::TrafficMatrix TrafficSpec::sample(int num_servers, Rng& rng) const {
+  switch (kind) {
+    case Kind::kPermutation:
+      return traffic::random_permutation(num_servers, rng, demand);
+    case Kind::kAllToAll:
+      return traffic::all_to_all(num_servers, demand, /*normalize=*/true);
+    case Kind::kHotspot:
+      return traffic::hotspot(num_servers, num_hot, fan_in, rng, demand);
+  }
+  check(false, "TrafficSpec::sample: unknown traffic kind");
+  return {};
+}
+
+bool metric_needs_routing(Metric m) {
+  switch (m) {
+    case Metric::kRoutedThroughput:
+    case Metric::kLinkDiversity:
+    case Metric::kPacketSim:
+      return true;
+    case Metric::kPathStats:
+    case Metric::kServerCdf:
+    case Metric::kThroughput:
+    case Metric::kBisection:
+      return false;
+  }
+  return false;
+}
+
+std::string metric_name(Metric m) {
+  switch (m) {
+    case Metric::kPathStats:
+      return "path_stats";
+    case Metric::kServerCdf:
+      return "server_cdf";
+    case Metric::kThroughput:
+      return "throughput";
+    case Metric::kBisection:
+      return "bisection";
+    case Metric::kRoutedThroughput:
+      return "routed_throughput";
+    case Metric::kLinkDiversity:
+      return "link_diversity";
+    case Metric::kPacketSim:
+      return "packet_sim";
+  }
+  return "unknown";
+}
+
+}  // namespace jf::eval

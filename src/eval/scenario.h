@@ -1,0 +1,116 @@
+// Declarative experiment descriptions for the jf::eval engine.
+//
+// Every figure in the paper is one experiment shape: build topologies, pick
+// routing schemes, sample traffic, evaluate metrics over many seeds. A
+// Scenario captures that shape as data; Engine::run executes it (in
+// parallel across seeds) and returns a Report. Example — Figure 9 / Table 1
+// territory in one call:
+//
+//   jf::eval::Scenario s;
+//   s.name = "jellyfish vs fat-tree";
+//   s.topologies = {{.family = "fattree", .fattree_k = 8},
+//                   {.family = "jellyfish", .switches = 80, .ports = 8,
+//                    .servers = 128}};
+//   s.routings = {{"ecmp", 8}, {"ksp", 8}};
+//   s.metrics = {Metric::kPathStats, Metric::kThroughput,
+//                Metric::kRoutedThroughput};
+//   s.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+//   auto report = jf::eval::Engine().run(s);
+//   report.to_table().print(std::cout);
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/mcf.h"
+#include "routing/path_provider.h"
+#include "sim/workload.h"
+#include "traffic/traffic.h"
+
+namespace jf::eval {
+
+// Topology family reference resolved through the factory registry
+// (eval/topology_factory.h). Each family reads the fields it needs and
+// ignores the rest; unused fields may stay zero.
+struct TopologySpec {
+  std::string family = "jellyfish";  // registry key
+  std::string label;                 // report row label; family if empty
+
+  // jellyfish: switches x ports hosting `servers` total (evenly spread).
+  int switches = 0;
+  int ports = 0;
+  int servers = 0;
+
+  // fattree: the k parameter (sets switches/ports/servers itself).
+  int fattree_k = 0;
+
+  // swdc-*: total network degree and servers per switch (plus switches/ports
+  // above; the switch count snaps to the nearest lattice-feasible size).
+  int degree = 6;
+  int servers_per_switch = 0;
+
+  // twolayer: container structure and the local-link fraction (plus ports
+  // and servers_per_switch above).
+  int containers = 0;
+  int switches_per_container = 0;
+  int network_degree = 0;
+  double local_fraction = 0.5;
+
+  const std::string& display() const { return label.empty() ? family : label; }
+};
+
+// Traffic model applied per (topology, seed, sample).
+struct TrafficSpec {
+  enum class Kind {
+    kPermutation,  // the paper's standard: random server derangement
+    kAllToAll,
+    kHotspot,
+  };
+  Kind kind = Kind::kPermutation;
+  double demand = 1.0;
+  int num_hot = 0;  // hotspot only
+  int fan_in = 0;   // hotspot only
+
+  traffic::TrafficMatrix sample(int num_servers, Rng& rng) const;
+};
+
+enum class Metric {
+  kPathStats,         // mean_path, diameter — switch-level, routing-free
+  kServerCdf,         // server_cdf_le{2..6}: server-pair path-length CDF
+  kThroughput,        // fluid MCF under optimal routing
+  kBisection,         // normalized bisection bandwidth
+  kRoutedThroughput,  // fluid MCF restricted to the scheme's path sets
+  kLinkDiversity,     // div_frac_le2, div_mean, div_p50, div_p90, div_max
+  kPacketSim,         // sim_goodput, sim_fairness, sim_drops
+};
+
+// True for metrics evaluated once per (topology, routing, seed) cell; false
+// for metrics evaluated once per (topology, seed) regardless of routing.
+bool metric_needs_routing(Metric m);
+
+// Metric enum -> stable name prefix used in Sample::metric.
+std::string metric_name(Metric m);
+
+struct Scenario {
+  std::string name = "scenario";
+
+  std::vector<TopologySpec> topologies;
+  // Routing schemes compared by routing-dependent metrics. May be empty when
+  // only routing-free metrics are requested.
+  std::vector<routing::RoutingSpec> routings;
+  TrafficSpec traffic;
+  std::vector<Metric> metrics = {Metric::kPathStats, Metric::kThroughput};
+  // One topology build + evaluation per seed; the batch runner spreads seeds
+  // (and topologies/routings) across worker threads.
+  std::vector<std::uint64_t> seeds = {1};
+  // Traffic matrices evaluated per seed for traffic-driven metrics.
+  int samples_per_seed = 1;
+
+  flow::McfOptions mcf;
+  // Transport/timing settings for kPacketSim. The routing field inside is
+  // ignored: each cell routes through its own RoutingSpec's provider.
+  sim::WorkloadConfig sim;
+};
+
+}  // namespace jf::eval

@@ -1,0 +1,98 @@
+#include "eval/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace jf::eval {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    check(!stop_, "ThreadPool::submit: pool is shutting down");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
+  check(n >= 0, "parallel_for: negative range");
+  if (n == 0) return;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, n);
+  if (threads == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic index assignment: workers pull the next cell as they free up, so
+  // uneven cell costs (packet sims vs. path stats) still balance.
+  std::atomic<int> next{0};
+  ThreadPool pool(threads);
+  for (int w = 0; w < threads; ++w) {
+    pool.submit([&] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace jf::eval

@@ -1,0 +1,55 @@
+// Minimal work-stealing-free thread pool for scenario batches.
+//
+// The eval engine parallelizes across (topology, routing, seed) cells whose
+// RNG streams are derived purely from scenario indices, so any assignment of
+// cells to workers yields the same numbers — the pool only has to place each
+// result in its cell's slot to make reports byte-identical at every thread
+// count.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jf::eval {
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not submit further tasks.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. Rethrows the first
+  // exception any task raised (subsequent ones are dropped).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task available / stop
+  std::condition_variable idle_cv_;   // signals waiters: everything drained
+  std::queue<std::function<void()>> queue_;
+  std::exception_ptr first_error_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for every i in [0, n). With `threads` <= 1 the loop runs inline
+// (no pool, deterministic and allocation-free); otherwise a transient pool
+// executes the indices. Rethrows the first task exception.
+void parallel_for(int n, int threads, const std::function<void(int)>& fn);
+
+}  // namespace jf::eval

@@ -1,0 +1,103 @@
+#include "eval/topology_factory.h"
+
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "topo/fattree.h"
+#include "topo/jellyfish.h"
+#include "topo/swdc.h"
+#include "topo/twolayer.h"
+
+namespace jf::eval {
+
+namespace {
+
+topo::Topology build_swdc_family(topo::SwdcLattice lattice, const TopologySpec& spec,
+                                 Rng& rng) {
+  check(spec.switches >= 3, "swdc topology: need switches >= 3");
+  topo::SwdcParams p;
+  p.lattice = lattice;
+  p.num_switches = topo::swdc_feasible_size(lattice, spec.switches);
+  p.degree = spec.degree;
+  p.ports_per_switch = spec.ports;
+  p.servers_per_switch = spec.servers_per_switch;
+  return topo::build_swdc(p, rng);
+}
+
+const std::map<std::string, TopologyFactory>& builtins() {
+  static const std::map<std::string, TopologyFactory> b = {
+      {"jellyfish",
+       [](const TopologySpec& spec, Rng& rng) {
+         check(spec.switches >= 2 && spec.ports >= 1,
+               "jellyfish topology: need switches >= 2 and ports >= 1");
+         return topo::build_jellyfish_with_servers(spec.switches, spec.ports, spec.servers,
+                                                   rng);
+       }},
+      {"fattree",
+       [](const TopologySpec& spec, Rng&) {
+         check(spec.fattree_k >= 2, "fattree topology: need fattree_k >= 2");
+         return topo::build_fattree(spec.fattree_k);
+       }},
+      {"swdc-ring",
+       [](const TopologySpec& spec, Rng& rng) {
+         return build_swdc_family(topo::SwdcLattice::kRing, spec, rng);
+       }},
+      {"swdc-torus2d",
+       [](const TopologySpec& spec, Rng& rng) {
+         return build_swdc_family(topo::SwdcLattice::kTorus2D, spec, rng);
+       }},
+      {"swdc-hex3d",
+       [](const TopologySpec& spec, Rng& rng) {
+         return build_swdc_family(topo::SwdcLattice::kHexTorus3D, spec, rng);
+       }},
+      {"twolayer",
+       [](const TopologySpec& spec, Rng& rng) {
+         check(spec.containers >= 1 && spec.switches_per_container >= 1,
+               "twolayer topology: need containers and switches_per_container");
+         topo::TwoLayerParams p;
+         p.num_containers = spec.containers;
+         p.switches_per_container = spec.switches_per_container;
+         p.ports_per_switch = spec.ports;
+         p.network_degree = spec.network_degree;
+         p.local_fraction = spec.local_fraction;
+         p.servers_per_switch = spec.servers_per_switch;
+         return topo::build_two_layer_jellyfish(p, rng);
+       }},
+  };
+  return b;
+}
+
+std::map<std::string, TopologyFactory>& registry() {
+  static std::map<std::string, TopologyFactory> r;
+  return r;
+}
+
+}  // namespace
+
+topo::Topology build_topology(const TopologySpec& spec, Rng& rng) {
+  if (auto it = builtins().find(spec.family); it != builtins().end()) {
+    return it->second(spec, rng);
+  }
+  if (auto it = registry().find(spec.family); it != registry().end()) {
+    return it->second(spec, rng);
+  }
+  check(false, "build_topology: unknown topology family");
+  return {};
+}
+
+void register_topology_family(const std::string& family, TopologyFactory factory) {
+  check(!family.empty(), "register_topology_family: empty family name");
+  check(builtins().find(family) == builtins().end(),
+        "register_topology_family: cannot shadow a built-in family");
+  registry()[family] = std::move(factory);
+}
+
+std::vector<std::string> topology_families() {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : builtins()) out.push_back(name);
+  for (const auto& [name, _] : registry()) out.push_back(name);
+  return out;
+}
+
+}  // namespace jf::eval

@@ -1,0 +1,36 @@
+// Topology family registry: TopologySpec -> built Topology.
+//
+// Built-in families cover every interconnect the paper evaluates:
+//   "jellyfish"    — RRG over switches x ports hosting `servers` (§3)
+//   "fattree"      — k-ary fat-tree baseline (fattree_k)
+//   "swdc-ring", "swdc-torus2d", "swdc-hex3d"
+//                  — Small-World Datacenter variants (Fig. 4)
+//   "twolayer"     — container-localized two-layer Jellyfish (§6.3, Fig. 14)
+// Custom families register a factory under a new name and become usable in
+// any Scenario.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/scenario.h"
+#include "topo/topology.h"
+
+namespace jf::eval {
+
+using TopologyFactory = std::function<topo::Topology(const TopologySpec&, Rng&)>;
+
+// Builds the spec'd topology; throws std::invalid_argument for an unknown
+// family. Deterministic in (spec, rng state).
+topo::Topology build_topology(const TopologySpec& spec, Rng& rng);
+
+// Registers (or replaces) a family. Built-in names cannot be shadowed.
+// Not thread-safe against concurrent build_topology; register at startup.
+void register_topology_family(const std::string& family, TopologyFactory factory);
+
+// Built-in + registered family names.
+std::vector<std::string> topology_families();
+
+}  // namespace jf::eval

@@ -1,0 +1,42 @@
+// Max concurrent flow restricted to a routing scheme's path sets.
+//
+// The unrestricted solver (flow/mcf.h) measures what a topology could carry
+// under optimal routing; this one measures what the *installed* routing
+// scheme can extract: each commodity may only split across the paths its
+// PathProvider enumerates (ECMP-w, KSP-k, or a custom scheme). The gap
+// between the two is the paper's §5 story — ECMP leaves a large fraction of
+// Jellyfish capacity unused, k-shortest-path routing recovers it.
+//
+// Same Garg-Könemann machinery as the unrestricted solver, with the
+// shortest-path oracle replaced by "cheapest path in the commodity's
+// allowed set" under the evolving arc lengths; the dual bound D(l)/alpha(l)
+// remains valid with alpha computed over allowed paths only.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "flow/maxmin.h"
+#include "flow/mcf.h"
+#include "routing/path_provider.h"
+#include "topo/topology.h"
+
+namespace jf::flow {
+
+// Solves max concurrent flow where commodity (s, t) routes only over
+// `routes.paths(s, t)`. A commodity whose allowed set is empty (unreachable
+// pair) yields lambda = 0, mirroring the unrestricted solver's treatment of
+// disconnected commodities.
+McfResult restricted_max_concurrent_flow(const graph::Graph& g,
+                                         std::span<const traffic::Commodity> commodities,
+                                         routing::PathProvider& routes,
+                                         const McfOptions& opts = {});
+
+// Normalized throughput (min(1, lambda)) of one sampled permutation when
+// flows are confined to the scheme's paths — the fluid analog of the
+// packet-level Table 1 cells.
+double restricted_permutation_throughput(const topo::Topology& topo,
+                                         routing::PathProvider& routes, Rng& rng,
+                                         const McfOptions& opts = {});
+
+}  // namespace jf::flow

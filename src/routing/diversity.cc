@@ -6,20 +6,26 @@
 
 namespace jf::routing {
 
-std::vector<int> link_path_counts(const graph::Graph& g, const flow::LinkIndex& links,
+std::vector<int> link_path_counts(const flow::LinkIndex& links,
                                   const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
-                                  const RoutingOptions& opts) {
+                                  PathProvider& routes) {
   std::vector<int> counts(static_cast<std::size_t>(links.num_links()), 0);
-  PathCache cache(g, opts);
   for (const auto& [s, t] : pairs) {
     if (s == t) continue;
-    for (const auto& path : cache.paths(s, t)) {
+    for (const auto& path : routes.paths(s, t)) {
       for (std::size_t i = 0; i + 1 < path.size(); ++i) {
         ++counts[static_cast<std::size_t>(links.id(path[i], path[i + 1]))];
       }
     }
   }
   return counts;
+}
+
+std::vector<int> link_path_counts(const graph::Graph& g, const flow::LinkIndex& links,
+                                  const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+                                  const RoutingOptions& opts) {
+  auto routes = make_path_provider(g, opts);
+  return link_path_counts(links, pairs, *routes);
 }
 
 std::vector<int> ranked(std::vector<int> counts) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "flow/maxmin.h"
+#include "routing/path_provider.h"
 #include "routing/paths.h"
 
 namespace jf::routing {
@@ -19,6 +20,11 @@ namespace jf::routing {
 // aggregated over the path sets of the given switch pairs (one pair per
 // permutation flow; duplicate pairs contribute their paths again, matching
 // per-flow path sets). Output is indexed by flow::LinkIndex ids.
+std::vector<int> link_path_counts(const flow::LinkIndex& links,
+                                  const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+                                  PathProvider& routes);
+
+// Legacy entry point: resolves `opts` to a provider and counts with it.
 std::vector<int> link_path_counts(const graph::Graph& g, const flow::LinkIndex& links,
                                   const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
                                   const RoutingOptions& opts);

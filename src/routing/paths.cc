@@ -32,7 +32,7 @@ PathCache::PathCache(const graph::Graph& g, RoutingOptions opts) : g_(g), opts_(
 
 const std::vector<std::vector<graph::NodeId>>& PathCache::paths(graph::NodeId s,
                                                                 graph::NodeId t) {
-  auto key = std::make_pair(s, t);
+  const std::uint64_t key = pack(s, t);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     it = cache_.emplace(key, compute_paths(g_, s, t, opts_)).first;

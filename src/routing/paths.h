@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -48,10 +48,17 @@ class PathCache {
   std::size_t pairs_cached() const { return cache_.size(); }
 
  private:
+  // Node ids are 32-bit, so an (s, t) pair packs losslessly into one 64-bit
+  // key — cheaper to hash and compare than a pair-keyed tree on the
+  // per-flow lookup path.
+  static std::uint64_t pack(graph::NodeId s, graph::NodeId t) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)) << 32) |
+           static_cast<std::uint32_t>(t);
+  }
+
   const graph::Graph& g_;
   RoutingOptions opts_;
-  std::map<std::pair<graph::NodeId, graph::NodeId>, std::vector<std::vector<graph::NodeId>>>
-      cache_;
+  std::unordered_map<std::uint64_t, std::vector<std::vector<graph::NodeId>>> cache_;
 };
 
 }  // namespace jf::routing

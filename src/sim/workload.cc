@@ -5,7 +5,6 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "flow/maxmin.h"
-#include "graph/ecmp.h"
 
 namespace jf::sim {
 
@@ -21,6 +20,13 @@ std::uint64_t flow_key(int tm_flow, int connection, int subflow) {
 
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, Rng& rng) {
+  auto routes = routing::make_path_provider(topo.switches(), cfg.routing);
+  return run_workload(topo, tm, cfg, *routes, rng);
+}
+
+WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                            const WorkloadConfig& cfg, routing::PathProvider& routes,
+                            Rng& rng) {
   check(!tm.flows.empty(), "run_workload: empty traffic matrix");
   check(cfg.parallel_connections >= 1 && cfg.subflows >= 1, "run_workload: bad connection counts");
 
@@ -41,8 +47,6 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
     sim.add_link();
     sim.add_link();
   }
-
-  routing::PathCache paths(g, cfg.routing);
 
   // Builds the directed link-id chain for one switch path, bracketed by the
   // source uplink and destination downlink.
@@ -69,32 +73,19 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
     const graph::NodeId ssw = topo.server_switch(f.src_server);
     const graph::NodeId dsw = topo.server_switch(f.dst_server);
 
-    // Candidate switch paths ({ssw} alone when the pair shares a ToR).
-    const std::vector<std::vector<graph::NodeId>> local_path{{ssw}};
     const bool local = ssw == dsw;
-    const auto& switch_paths =
-        local || cfg.routing.scheme == routing::Scheme::kEcmp ? local_path
-                                                              : paths.paths(ssw, dsw);
-    check(local || cfg.routing.scheme == routing::Scheme::kEcmp || !switch_paths.empty(),
-          "run_workload: no route between switches");
 
+    // The provider realizes the routing scheme: route() pins one path per
+    // flow hash; route_subflow() places multipath subflows (round-robin over
+    // the candidate set for KSP, hash-decorrelated walks for ECMP).
     auto pick = [&](int conn, int sub) -> std::vector<graph::NodeId> {
-      if (local) return local_path[0];
-      if (cfg.routing.scheme == routing::Scheme::kEcmp) {
-        // ECMP forwards by per-hop hashing over the shortest-path DAG,
-        // truncated to the hardware's way-width at each switch.
-        auto path = graph::ecmp_walk(g, ssw, dsw, flow_key(static_cast<int>(fi), conn, sub),
-                                     cfg.routing.width);
-        check(!path.empty(), "run_workload: no route between switches");
-        return path;
-      }
-      // KSP pins subflow i to the i-th shortest path (round-robin); single-
-      // connection TCP hashes onto one of the k paths.
-      if (cfg.transport == Transport::kMptcp) {
-        return switch_paths[static_cast<std::size_t>(sub) % switch_paths.size()];
-      }
-      return switch_paths[routing::select_path(switch_paths.size(),
-                                               flow_key(static_cast<int>(fi), conn, sub))];
+      if (local) return {ssw};
+      const std::uint64_t key = flow_key(static_cast<int>(fi), conn, sub);
+      auto path = cfg.transport == Transport::kMptcp
+                      ? routes.route_subflow(ssw, dsw, key, sub)
+                      : routes.route(ssw, dsw, key);
+      check(!path.empty(), "run_workload: no route between switches");
+      return path;
     };
 
     if (cfg.transport == Transport::kTcp) {

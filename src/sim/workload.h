@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "routing/path_provider.h"
 #include "routing/paths.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
@@ -47,9 +48,16 @@ struct WorkloadResult {
 };
 
 // Runs the traffic matrix on the topology and reports goodput statistics.
-// Deterministic given (topology, tm, config, rng seed).
+// Deterministic given (topology, tm, config, rng seed). Routing comes from
+// cfg.routing, resolved through routing::make_path_provider.
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, Rng& rng);
+
+// Same, but routes every flow through the given provider (cfg.routing is
+// ignored). This is the entry point for custom schemes and jf::eval.
+WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                            const WorkloadConfig& cfg, routing::PathProvider& routes,
+                            Rng& rng);
 
 // Convenience: samples a random server permutation and runs it.
 WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,

@@ -1,0 +1,209 @@
+// jf::eval engine: scenario execution, thread-count determinism, parity with
+// the legacy per-call facade API, and registry extensibility.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "core/jellyfish_network.h"
+#include "eval/engine.h"
+#include "eval/thread_pool.h"
+#include "eval/topology_factory.h"
+#include "flow/restricted.h"
+#include "flow/throughput.h"
+#include "topo/fattree.h"
+#include "topo/jellyfish.h"
+
+namespace jf {
+namespace {
+
+eval::Scenario small_scenario() {
+  eval::Scenario s;
+  s.name = "test";
+  s.topologies = {
+      {.family = "jellyfish", .switches = 16, .ports = 6, .servers = 32},
+      {.family = "fattree", .fattree_k = 4},
+  };
+  s.routings = {{"ecmp", 4}, {"ksp", 4}};
+  s.metrics = {eval::Metric::kPathStats, eval::Metric::kThroughput,
+               eval::Metric::kRoutedThroughput};
+  s.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  return s;
+}
+
+TEST(ThreadPool, RunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  eval::parallel_for(64, 4, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  EXPECT_THROW(
+      eval::parallel_for(8, 4,
+                         [](int i) {
+                           if (i == 3) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+// The acceptance bar for the batch runner: the same scenario + seed list
+// yields an identical Report regardless of thread count.
+TEST(EvalEngine, ReportIdenticalAcrossThreadCounts) {
+  const auto s = small_scenario();
+  const auto serial = eval::Engine({.threads = 1}).run(s);
+  const auto parallel = eval::Engine({.threads = 4}).run(s);
+
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  EXPECT_GT(serial.samples.size(), 0u);
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    const auto& a = serial.samples[i];
+    const auto& b = parallel.samples[i];
+    EXPECT_EQ(a.topology, b.topology);
+    EXPECT_EQ(a.routing, b.routing);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.sample, b.sample);
+    EXPECT_EQ(a.metric, b.metric);
+    EXPECT_EQ(a.value, b.value);  // exact: identical RNG streams, bit-equal
+  }
+  EXPECT_EQ(serial.topology_labels, parallel.topology_labels);
+  EXPECT_EQ(serial.routing_labels, parallel.routing_labels);
+}
+
+TEST(EvalEngine, RunsRepeatIdentically) {
+  const auto s = small_scenario();
+  const auto a = eval::Engine({.threads = 3}).run(s);
+  const auto b = eval::Engine({.threads = 3}).run(s);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].value, b.samples[i].value);
+  }
+}
+
+// Engine kernels are the implementation behind the facade: wrap() a fixed
+// topology at a fixed seed and the two APIs must agree exactly.
+TEST(EvalEngine, KernelsMatchLegacyFacade) {
+  Rng build_rng(7);
+  auto topo = topo::build_jellyfish_with_servers(20, 8, 60, build_rng);
+  const std::uint64_t seed = 99;
+
+  auto net = core::JellyfishNetwork::wrap(topo, seed);
+  Rng engine_rng(seed);
+
+  EXPECT_EQ(net.throughput(2), eval::Engine::throughput(topo, engine_rng, 2));
+
+  const auto facade_stats = net.path_stats();
+  const auto engine_stats = eval::Engine::path_stats(topo);
+  EXPECT_EQ(facade_stats.mean, engine_stats.mean);
+  EXPECT_EQ(facade_stats.diameter, engine_stats.diameter);
+  EXPECT_EQ(facade_stats.connected, engine_stats.connected);
+
+  Rng bis_rng(seed);
+  auto net2 = core::JellyfishNetwork::wrap(topo, seed);
+  EXPECT_EQ(net2.bisection_bandwidth(), eval::Engine::bisection_bandwidth(topo, bis_rng));
+}
+
+TEST(EvalEngine, CrossProductCoversEveryCell) {
+  auto s = small_scenario();
+  s.seeds = {5, 6};
+  const auto report = eval::Engine({.threads = 2}).run(s);
+
+  // Routing-free series: one value per seed per topology.
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_EQ(report.series(t, -1, "throughput").size(), 2u);
+    EXPECT_EQ(report.series(t, -1, "mean_path").size(), 2u);
+    // Routing-dependent series: one per (routing, seed).
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(report.series(t, r, "routed_throughput").size(), 2u);
+    }
+  }
+  // Aggregates exist for every (topology, routing, metric) combination.
+  EXPECT_EQ(report.aggregates().size(),
+            2u * (2u /*path_stats*/ + 1u /*throughput*/) + 2u * 2u /*routed*/);
+
+  // Traffic matrices are shared across routing schemes, so a scheme offered
+  // strictly more paths can't do worse than the optimum, and no scheme can
+  // beat unrestricted MCF by more than solver tolerance.
+  for (int t = 0; t < 2; ++t) {
+    const auto optimal = report.series(t, -1, "throughput");
+    for (int r = 0; r < 2; ++r) {
+      const auto routed = report.series(t, r, "routed_throughput");
+      for (std::size_t i = 0; i < routed.size(); ++i) {
+        EXPECT_LE(routed[i], optimal[i] + 0.12);
+      }
+    }
+  }
+}
+
+TEST(EvalEngine, SameTopologyAcrossRoutingCells) {
+  // kPathStats is routing-free; the guarantee that routing cells rebuild the
+  // *same* topology shows up as routed ksp-8 tracking optimal closely on a
+  // well-provisioned jellyfish.
+  eval::Scenario s;
+  s.topologies = {{.family = "jellyfish", .switches = 16, .ports = 8, .servers = 16}};
+  s.routings = {{"ksp", 8}};
+  s.metrics = {eval::Metric::kThroughput, eval::Metric::kRoutedThroughput};
+  s.seeds = {42};
+  const auto report = eval::Engine({.threads = 1}).run(s);
+  const double optimal = report.series(0, -1, "throughput").at(0);
+  const double routed = report.series(0, 0, "routed_throughput").at(0);
+  EXPECT_GT(optimal, 0.9);
+  EXPECT_GT(routed, 0.75);
+}
+
+TEST(EvalEngine, UnknownFamilyAndSchemeThrow) {
+  eval::Scenario s;
+  s.topologies = {{.family = "hypercube"}};
+  s.seeds = {1};
+  EXPECT_THROW(eval::Engine({.threads = 1}).run(s), std::invalid_argument);
+
+  eval::Scenario s2;
+  s2.topologies = {{.family = "fattree", .fattree_k = 4}};
+  s2.routings = {{"segment-routing", 4}};
+  s2.metrics = {eval::Metric::kRoutedThroughput};
+  s2.seeds = {1};
+  EXPECT_THROW(eval::Engine({.threads = 1}).run(s2), std::invalid_argument);
+}
+
+TEST(EvalEngine, CustomFamilyAndSchemeRegister) {
+  eval::register_topology_family("test-clique", [](const eval::TopologySpec& spec, Rng&) {
+    graph::Graph g(spec.switches);
+    for (graph::NodeId a = 0; a < spec.switches; ++a) {
+      for (graph::NodeId b = a + 1; b < spec.switches; ++b) g.add_edge(a, b);
+    }
+    std::vector<int> ports(static_cast<std::size_t>(spec.switches), spec.ports);
+    std::vector<int> servers(static_cast<std::size_t>(spec.switches), 1);
+    return topo::Topology("clique", std::move(g), std::move(ports), std::move(servers));
+  });
+  routing::register_path_provider(
+      "single-shortest", [](const graph::Graph& g, const routing::RoutingSpec&) {
+        return routing::make_path_provider(g, routing::RoutingSpec{"ksp", 1});
+      });
+
+  eval::Scenario s;
+  s.topologies = {{.family = "test-clique", .switches = 6, .ports = 8}};
+  s.routings = {{"single-shortest", 1}};
+  s.metrics = {eval::Metric::kPathStats, eval::Metric::kRoutedThroughput};
+  s.seeds = {1};
+  const auto report = eval::Engine({.threads = 1}).run(s);
+  EXPECT_EQ(summarize(report.series(0, -1, "mean_path")).mean, 1.0);
+  EXPECT_GT(report.series(0, 0, "routed_throughput").at(0), 0.0);
+}
+
+TEST(RestrictedMcf, NeverBeatsUnrestrictedByMuchAndKspRecoversCapacity) {
+  Rng rng(3);
+  auto topo = topo::build_jellyfish_with_servers(20, 8, 40, rng);
+
+  Rng tm_rng(17);
+  const double optimal = flow::permutation_throughput(topo, tm_rng, {});
+
+  auto ksp = routing::make_path_provider(topo.switches(), routing::RoutingSpec{"ksp", 8});
+  Rng tm_rng2(17);
+  const double restricted = flow::restricted_permutation_throughput(topo, *ksp, tm_rng2, {});
+
+  EXPECT_LE(restricted, optimal + 0.12);  // GK tolerance on both sides
+  EXPECT_GT(restricted, 0.5 * optimal);   // 8 paths recover most capacity
+}
+
+}  // namespace
+}  // namespace jf
