@@ -1,47 +1,40 @@
 // Figure 2(b): equipment cost (total #ports) vs. number of servers at full
 // bisection bandwidth, for commodity port counts.
 //
-// Paper shape: Jellyfish's cost grows more slowly than the fat-tree's,
-// especially at high port counts, and offers a continuous design space
-// (fat-trees exist only at k^3/4 server counts).
-#include <iostream>
-#include <vector>
+// Ported onto the experiment farm: scenarios/fig02b.json sweeps the server
+// count from 10k to 80k over jellyfish and fat-tree rows at k in
+// {24, 32, 48, 64}; the kMinPorts metric computes each design point
+// analytically (Bollobás bound / smallest sufficient fat-tree; 0 marks an
+// infeasible fat-tree size — they exist only at k^3/4 steps). Paper shape:
+// at equal server count Jellyfish needs fewer ports, and the advantage
+// grows with k.
+#include <ostream>
 
-#include "common/table.h"
-#include "flow/bisection.h"
+#include "eval/bench_driver.h"
 
-int main() {
-  using namespace jf;
-  const std::vector<int> port_choices = {24, 32, 48, 64};
+namespace {
 
-  print_banner(std::cout,
-               "Figure 2(b): total ports needed vs servers at full bisection bandwidth");
-  Table table({"servers", "fattree_ports", "jf_ports_k24", "jf_ports_k32", "jf_ports_k48",
-               "jf_ports_k64"});
-  for (int servers = 10000; servers <= 80000; servers += 10000) {
-    std::vector<std::string> row;
-    row.push_back(Table::fmt(servers));
-    row.push_back(Table::fmt(flow::fattree_min_ports_full_bisection(servers, port_choices)));
-    for (int k : port_choices) {
-      row.push_back(Table::fmt(flow::jellyfish_min_ports_full_bisection(servers, k)));
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  os << "\npaper shape (% fewer ports than the same-k fat-tree, where feasible):\n";
+  for (const auto& point : report.points) {
+    if (point.coords.empty()) continue;
+    os << "  servers=" << point.coords.front().second << ":";
+    for (const char* k : {"24", "32", "48", "64"}) {
+      const double jf = jf::eval::mean_for(point, std::string("jf-k") + k, "min_ports");
+      const double ft = jf::eval::mean_for(point, std::string("ft-k") + k, "min_ports");
+      if (jf > 0.0 && ft > 0.0) {
+        os << "  k=" << k << ": " << 100.0 * (1.0 - jf / ft) << "%";
+      }
     }
-    table.add_row(std::move(row));
+    os << "\n";
   }
-  table.print(std::cout);
-  table.print_csv(std::cout);
+}
 
-  std::cout << "\nshape check (paper): at equal #servers, Jellyfish with the same port count\n"
-               "needs fewer ports than the fat-tree, and the advantage grows with k.\n";
-  for (int k : port_choices) {
-    const int servers = k * k * k / 4;  // fat-tree design point for this k
-    const auto ft = flow::fattree_min_ports_full_bisection(servers, {&k, 1});
-    const auto jf = flow::jellyfish_min_ports_full_bisection(servers, k);
-    if (ft > 0 && jf > 0) {
-      std::cout << "  k=" << k << ", servers=" << servers << ": fat-tree " << ft
-                << " ports, jellyfish " << jf << " ports ("
-                << 100.0 - 100.0 * static_cast<double>(jf) / static_cast<double>(ft)
-                << "% fewer)\n";
-    }
-  }
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv,
+      "Figure 2(b): total ports needed vs servers at full bisection bandwidth",
+      JF_SCENARIO_DIR "/fig02b.json", shape_note);
 }

@@ -1,45 +1,37 @@
 // Figure 2(c): servers supported at full capacity vs. equipment cost under
 // optimal (fluid multi-commodity) routing with random-permutation traffic.
 //
-// Protocol (paper §4): for each fat-tree (k = 6, 8, 10, 12), binary-search
-// the largest server count for which a same-equipment Jellyfish sustains the
-// fat-tree's measured per-server throughput across independently sampled
-// permutation matrices. Paper shape: Jellyfish supports up to ~27% more
-// servers, improving with scale.
-#include <iostream>
+// Ported onto the experiment farm: scenarios/fig02c.json zips a fat-tree k
+// sweep {6, 8, 10, 12} with the equal-equipment Jellyfish (switches, ports)
+// pairs; the kCapacity metric runs the paper's binary-search protocol
+// (fresh RRG per candidate, several permutation matrices per check, MCF
+// dual-certified) for Jellyfish rows and reports the analytic k^3/4 for
+// fat-tree rows. Paper shape: Jellyfish supports up to ~27% more servers,
+// improving with scale.
+#include <cmath>
+#include <ostream>
 
-#include "common/rng.h"
-#include "common/table.h"
-#include "flow/throughput.h"
-#include "topo/fattree.h"
+#include "eval/bench_driver.h"
 
-int main() {
-  using namespace jf;
-  Rng rng(424242);
+namespace {
 
-  print_banner(std::cout,
-               "Figure 2(c): servers at full capacity vs equipment cost (optimal routing)");
-  Table table({"k", "total_ports", "fattree_servers", "jellyfish_servers", "advantage_pct"});
-
-  for (int k : {6, 8, 10, 12}) {
-    const int ft_servers = topo::fattree_servers(k);
-    const int switches = topo::fattree_switches(k);
-
-    flow::CapacitySearchOptions opts;
-    opts.matrices_per_check = 3;
-    opts.threshold = 0.95;  // GK primal is ~3-5% conservative; see DESIGN.md
-    Rng search_rng = rng.fork(static_cast<std::uint64_t>(k));
-    const int jf_servers = flow::max_servers_at_full_capacity(switches, k, search_rng, opts);
-
-    const double adv = 100.0 * (static_cast<double>(jf_servers) / ft_servers - 1.0);
-    table.add_row({Table::fmt(k), Table::fmt(static_cast<std::size_t>(switches) * k),
-                   Table::fmt(ft_servers), Table::fmt(jf_servers), Table::fmt(adv, 1)});
-    std::cout << "  [k=" << k << " done: jellyfish " << jf_servers << " vs fat-tree "
-              << ft_servers << "]\n";
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  os << "\npaper shape: advantage positive and increasing with scale "
+        "(paper: ~27% at 874 vs 686 servers):\n";
+  for (const auto& point : report.points) {
+    const double jf = jf::eval::mean_for(point, "jellyfish", "max_servers");
+    const double ft = jf::eval::mean_for(point, "fattree", "max_servers");
+    if (std::isnan(jf) || std::isnan(ft) || ft <= 0.0) continue;
+    os << "  " << point.label << ": jellyfish " << jf << " vs fat-tree " << ft << " ("
+       << 100.0 * (jf / ft - 1.0) << "% more)\n";
   }
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: advantage positive and increasing with scale (paper: ~27% at"
-               " 874 vs 686 servers).\n";
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv,
+      "Figure 2(c): servers at full capacity vs equipment cost (optimal routing)",
+      JF_SCENARIO_DIR "/fig02c.json", shape_note);
 }

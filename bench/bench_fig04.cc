@@ -1,73 +1,32 @@
 // Figure 4: Jellyfish vs. Small-World Datacenter (SWDC) topologies.
 //
-// Degree-6 comparison from the paper: 484 switches for Jellyfish, SWDC-ring
-// and SWDC-2D-torus; the 3D hex torus uses the nearest well-formed size
-// (the paper itself used 450 there). Each switch hosts 2 servers
-// (oversubscribed, so capacities are distinguishable).
-// Paper shape: Jellyfish ~119% of the best SWDC variant (the ring);
-// the more degree the lattice consumes, the worse the variant.
-#include <iostream>
+// Ported onto the experiment farm: scenarios/fig04.json compares degree-6
+// Jellyfish against SWDC ring / 2-D torus / 3-D hex torus at 484 switches
+// with 2 servers per switch (the hex torus snaps to the nearest
+// well-formed size), measuring optimal fluid throughput over 3 seeds.
+// Paper shape: Jellyfish ~119% of the best SWDC variant (the ring); the
+// more degree the lattice consumes, the worse the variant.
+#include <cmath>
+#include <ostream>
 
-#include "common/rng.h"
-#include "common/table.h"
-#include "flow/throughput.h"
-#include "topo/jellyfish.h"
-#include "topo/swdc.h"
+#include "eval/bench_driver.h"
 
-int main() {
-  using namespace jf;
-  const int degree = 6;
-  const int servers_per_switch = 2;
-  const int ports = degree + servers_per_switch;
-  const int n = 484;
-  const int runs = 3;
-  Rng rng(271828);
-  flow::McfOptions mcf;
+namespace {
 
-  print_banner(std::cout, "Figure 4: throughput vs small-world datacenter variants");
-  Table table({"topology", "switches", "normalized_throughput"});
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  for (const auto& point : report.points) {
+    const double jf = jf::eval::mean_for(point, "jellyfish", "throughput");
+    const double ring = jf::eval::mean_for(point, "swdc-ring", "throughput");
+    if (std::isnan(jf) || std::isnan(ring) || ring <= 0.0) continue;
+    os << "\npaper shape: Jellyfish ~1.19x the ring variant; measured " << jf / ring
+       << "x\n";
+  }
+}
 
-  auto eval_topo = [&](const std::string& label, auto&& builder) {
-    double tput = 0.0;
-    int switches = 0;
-    for (int run = 0; run < runs; ++run) {
-      Rng r = rng.fork(std::hash<std::string>{}(label) + run);
-      auto topo = builder(r);
-      switches = topo.num_switches();
-      tput += flow::permutation_throughput(topo, r, mcf) / runs;
-    }
-    table.add_row({label, Table::fmt(switches), Table::fmt(tput)});
-    std::cout << "  [" << label << " done]\n";
-    return tput;
-  };
+}  // namespace
 
-  const double jf = eval_topo("jellyfish", [&](Rng& r) {
-    return topo::build_jellyfish(
-        {.num_switches = n, .ports_per_switch = ports, .network_degree = degree}, r);
-  });
-  const double ring = eval_topo("swdc-ring", [&](Rng& r) {
-    return topo::build_swdc({.lattice = topo::SwdcLattice::kRing, .num_switches = n,
-                             .degree = degree, .ports_per_switch = ports,
-                             .servers_per_switch = servers_per_switch},
-                            r);
-  });
-  eval_topo("swdc-torus2d", [&](Rng& r) {
-    return topo::build_swdc({.lattice = topo::SwdcLattice::kTorus2D, .num_switches = n,
-                             .degree = degree, .ports_per_switch = ports,
-                             .servers_per_switch = servers_per_switch},
-                            r);
-  });
-  const int hex_n = topo::swdc_feasible_size(topo::SwdcLattice::kHexTorus3D, n);
-  eval_topo("swdc-hex3d", [&](Rng& r) {
-    return topo::build_swdc({.lattice = topo::SwdcLattice::kHexTorus3D, .num_switches = hex_n,
-                             .degree = degree, .ports_per_switch = ports,
-                             .servers_per_switch = servers_per_switch},
-                            r);
-  });
-
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: Jellyfish ~1.19x the ring variant; measured "
-            << (ring > 0 ? jf / ring : 0.0) << "x\n";
-  return 0;
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv, "Figure 4: throughput vs small-world datacenter variants",
+      JF_SCENARIO_DIR "/fig04.json", shape_note);
 }

@@ -1,0 +1,176 @@
+// jf_eval — the experiment-farm CLI.
+//
+// Runs scenario/sweep JSON files (see eval/serialize.h for the format)
+// through the jf::eval engine without recompiling anything:
+//
+//   jf_eval run scenarios/fig02a.json --threads 8 --out r.json
+//   jf_eval run scenarios/smoke.json --format csv
+//   jf_eval print scenarios/fig04.json     # validate + list sweep points
+//   jf_eval list                           # families, schemes, metrics, axes
+//
+// `run` streams one progress line per completed sweep point to stderr and
+// renders the result per --format: "table" (aligned aggregates), "csv"
+// (machine-greppable lines), or "json" (full per-seed samples + aggregates).
+// With --out the rendering goes to the file (default json); without it, to
+// stdout (default table). Reports are byte-identical at any --threads.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "eval/serialize.h"
+#include "eval/sweep.h"
+#include "eval/topology_factory.h"
+#include "routing/path_provider.h"
+
+namespace {
+
+using namespace jf;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: jf_eval <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  run <scenario.json> [--threads N] [--out FILE] [--format table|csv|json]\n"
+        "                      [--quiet]\n"
+        "      Execute the scenario (or sweep) and render the report.\n"
+        "      --threads N   engine worker threads (0 = hardware concurrency)\n"
+        "      --out FILE    write the report to FILE (default format: json)\n"
+        "      --format F    report rendering; default json with --out, else table\n"
+        "      --quiet       suppress per-point progress lines on stderr\n"
+        "  print <scenario.json>\n"
+        "      Validate the file and list the expanded sweep points (dry run).\n"
+        "  list\n"
+        "      Show topology families, routing schemes, metrics, and sweep fields.\n";
+  return code;
+}
+
+std::string render(const eval::SweepReport& report, const std::string& format) {
+  if (format == "json") return eval::sweep_report_to_json(report).dump(2) + "\n";
+  std::ostringstream out;
+  Table table = report.to_table();
+  if (format == "table") {
+    table.print(out);
+  } else if (format == "csv") {
+    table.print_csv(out);
+  } else {
+    throw std::invalid_argument("unknown --format '" + format +
+                                "' (expected table, csv, or json)");
+  }
+  return out.str();
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string path;
+  std::string out_path;
+  std::string format;
+  int threads = 0;
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      threads = std::atoi(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--format") {
+      format = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      throw std::invalid_argument("unexpected argument '" + arg + "'");
+    }
+  }
+  if (path.empty()) throw std::invalid_argument("run: missing scenario file");
+  if (format.empty()) format = out_path.empty() ? "table" : "json";
+  // Fail on a bad format before the (possibly long) sweep executes.
+  if (format != "table" && format != "csv" && format != "json") {
+    throw std::invalid_argument("unknown --format '" + format +
+                                "' (expected table, csv, or json)");
+  }
+
+  eval::SweepSpec spec = eval::load_sweep_file(path);
+  eval::SweepProgress progress;
+  if (!quiet) {
+    progress = [](int done, int total, const eval::SweepPointResult& point, double secs) {
+      std::cerr << "[" << done << "/" << total << "] " << point.label << "  ("
+                << point.report.samples.size() << " samples, " << secs << "s)\n";
+    };
+  }
+  eval::SweepReport report =
+      eval::run_sweep(spec, {.threads = threads}, progress);
+
+  const std::string rendered = render(report, format);
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write '" + out_path + "'");
+    out << rendered;
+    if (!quiet) {
+      std::cerr << "wrote " << rendered.size() << " bytes (" << format << ") to "
+                << out_path << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_print(int argc, char** argv) {
+  if (argc < 1) throw std::invalid_argument("print: missing scenario file");
+  eval::SweepSpec spec = eval::load_sweep_file(argv[0]);
+  auto points = eval::expand_sweep(spec);
+  std::cout << "scenario: " << spec.base.name << "\n"
+            << "topologies: " << spec.base.topologies.size()
+            << "  routings: " << spec.base.routings.size()
+            << "  seeds: " << spec.base.seeds.size()
+            << "  metrics: " << spec.base.metrics.size() << "\n"
+            << "sweep axes: " << spec.axes.size() << " -> " << points.size()
+            << " point(s)\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::cout << "  [" << i + 1 << "] " << points[i].label << "\n";
+  }
+  return 0;
+}
+
+int cmd_list() {
+  std::cout << "topology families:";
+  for (const auto& f : eval::topology_families()) {
+    std::cout << " " << f << (eval::topology_family_deterministic(f) ? "*" : "");
+  }
+  std::cout << "   (* = deterministic, shares path caches across seeds)\n";
+  std::cout << "routing schemes:  ";
+  for (const auto& s : routing::path_provider_schemes()) std::cout << " " << s;
+  std::cout << "\nmetrics:          ";
+  for (eval::Metric m : eval::all_metrics()) std::cout << " " << eval::metric_name(m);
+  std::cout << "\nsweep fields:     ";
+  for (const auto& f : eval::sweep_fields()) std::cout << " " << f;
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "print") return cmd_print(argc - 2, argv + 2);
+    if (cmd == "list") return cmd_list();
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(std::cout, 0);
+    std::cerr << "jf_eval: unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "jf_eval: error: " << e.what() << "\n";
+    return 1;
+  }
+}

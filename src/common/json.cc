@@ -1,0 +1,469 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jf::json {
+
+namespace {
+
+constexpr int kMaxDepth = 200;  // nesting guard against stack exhaustion
+
+std::string describe(Value::Kind k) { return std::string(Value::kind_name(k)); }
+
+[[noreturn]] void kind_error(std::string_view wanted, Value::Kind got) {
+  throw std::runtime_error("json: expected " + std::string(wanted) + ", got " +
+                           describe(got));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line_, static_cast<int>(pos_ - line_start_) + 1);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      take();
+    }
+  }
+
+  void expect(char c, const char* what) {
+    if (eof() || peek() != c) fail(std::string("expected ") + what);
+    take();
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    for (std::size_t i = 0; i < lit.size(); ++i) take();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid token");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid token");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid token");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("invalid token");
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{', "'{'");
+    Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      for (const auto& [k, _] : obj) {
+        if (k == key) fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':', "':'");
+      obj.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array(int depth) {
+    expect('[', "'['");
+    Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value(std::move(arr));
+  }
+
+  // Appends the UTF-8 encoding of a code point.
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp <= 0x7f) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7ff) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp <= 0xffff) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unterminated \\u escape");
+      char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // high surrogate: need the pair
+            if (eof() || take() != '\\' || eof() || take() != 'u') {
+              fail("unpaired surrogate in \\u escape");
+            }
+            std::uint32_t lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("invalid low surrogate in \\u escape");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') take();
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid number");
+    const char first_digit = take();
+    if (first_digit == '0' && !eof() && peek() >= '0' && peek() <= '9') {
+      fail("invalid number: leading zero");
+    }
+    while (!eof() && peek() >= '0' && peek() <= '9') take();
+    if (!eof() && peek() == '.') {
+      take();
+      if (eof() || peek() < '0' || peek() > '9') fail("invalid number: bare decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      if (eof() || peek() < '0' || peek() > '9') fail("invalid number: empty exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    const std::string_view lexeme = text_.substr(start, pos_ - start);
+    double v = 0.0;
+    const auto res = std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+    if (res.ec != std::errc() || !std::isfinite(v)) fail("number out of range");
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_into(const Value& v, std::string& out, int indent, int level);
+
+void newline_indent(std::string& out, int indent, int level) {
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(level), ' ');
+}
+
+void dump_into(const Value& v, std::string& out, int indent, int level) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      out += number_to_string(v.as_number());
+      break;
+    case Value::Kind::kString:
+      escape_into(out, v.as_string());
+      break;
+    case Value::Kind::kArray: {
+      const Array& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (indent >= 0) newline_indent(out, indent, level + 1);
+        dump_into(arr[i], out, indent, level + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, level);
+      out.push_back(']');
+      break;
+    }
+    case Value::Kind::kObject: {
+      const Object& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (indent >= 0) newline_indent(out, indent, level + 1);
+        escape_into(out, obj[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        dump_into(obj[i].second, out, indent, level + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, level);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& msg, int line, int column)
+    : std::runtime_error("json parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + msg),
+      line(line),
+      column(column) {}
+
+Value::Value(double v) : data_(v) {
+  if (!std::isfinite(v)) throw std::invalid_argument("json: non-finite number");
+}
+
+namespace {
+constexpr std::int64_t kMaxExactInt = 9007199254740992LL;  // 2^53
+}
+
+Value::Value(std::int64_t v) : data_(static_cast<double>(v)) {
+  if (v > kMaxExactInt || v < -kMaxExactInt) {
+    throw std::invalid_argument("json: integer " + std::to_string(v) +
+                                " exceeds the 2^53 exact range");
+  }
+}
+
+Value::Value(std::uint64_t v) : data_(static_cast<double>(v)) {
+  if (v > static_cast<std::uint64_t>(kMaxExactInt)) {
+    throw std::invalid_argument("json: integer " + std::to_string(v) +
+                                " exceeds the 2^53 exact range");
+  }
+}
+
+std::string_view Value::kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+bool Value::as_bool() const {
+  if (!is_bool()) kind_error("bool", kind());
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) kind_error("number", kind());
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  double v = as_number();
+  if (v != std::floor(v) || v < -9.007199254740992e15 || v > 9.007199254740992e15) {
+    throw std::runtime_error("json: expected integer, got " + number_to_string(v));
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t Value::as_uint() const {
+  std::int64_t v = as_int();
+  if (v < 0) throw std::runtime_error("json: expected non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) kind_error("string", kind());
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) kind_error("array", kind());
+  return std::get<Array>(data_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) kind_error("array", kind());
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) kind_error("object", kind());
+  return std::get<Object>(data_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) kind_error("object", kind());
+  return std::get<Object>(data_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(data_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value v) {
+  if (is_null()) data_ = Object{};
+  Object& obj = as_object();
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(v));
+}
+
+Value Value::parse(std::string_view text) { return Parser(text).run(); }
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_into(*this, out, indent, 0);
+  return out;
+}
+
+std::string number_to_string(double v) {
+  if (v == 0.0) return "0";  // normalizes -0.0
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace jf::json

@@ -1,0 +1,98 @@
+// Self-contained JSON reader/writer for scenario files and reports.
+//
+// The experiment farm speaks JSON both ways — scenario/sweep files in,
+// reports out — and the container ships no JSON library, so this is a small
+// strict implementation: standard JSON only (no comments, no trailing
+// commas, no NaN/Inf), duplicate object keys rejected, parse errors carry
+// line:column. Objects preserve insertion order, and numbers render via
+// shortest-round-trip formatting, which is what makes serialized reports
+// byte-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace jf::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;  // insertion-ordered
+
+// Thrown by Value::parse with 1-based line/column of the offending input.
+struct ParseError : std::runtime_error {
+  ParseError(const std::string& msg, int line, int column);
+  int line = 0;
+  int column = 0;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double v);  // rejects NaN/Inf (throws std::invalid_argument)
+  Value(int v) : Value(static_cast<double>(v)) {}
+  // 64-bit integer constructors reject magnitudes above 2^53 (throwing
+  // std::invalid_argument) instead of silently rounding through double —
+  // matching the as_int()/as_uint() read-side contract.
+  Value(std::int64_t v);
+  Value(std::uint64_t v);
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Kind kind() const { return static_cast<Kind>(data_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_number() const { return kind() == Kind::kNumber; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_array() const { return kind() == Kind::kArray; }
+  bool is_object() const { return kind() == Kind::kObject; }
+  static std::string_view kind_name(Kind k);
+
+  // Checked accessors; throw std::runtime_error naming the actual kind.
+  bool as_bool() const;
+  double as_number() const;
+  // as_number() checked to be integral and in range.
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  // Appends (or replaces) an object member, creating the object from null.
+  void set(std::string key, Value v);
+
+  // Parses one JSON document; the whole input must be consumed.
+  static Value parse(std::string_view text);
+
+  // Serializes. indent < 0: compact single line; indent >= 0: pretty-printed
+  // with that many spaces per level (newline-terminated at top level by the
+  // caller if desired).
+  std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+// Shortest representation that parses back to exactly `v`; integral values
+// (within the 2^53 exact-integer range) render without a decimal point.
+std::string number_to_string(double v);
+
+}  // namespace jf::json

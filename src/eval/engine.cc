@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
 
 #include "common/check.h"
 #include "eval/thread_pool.h"
 #include "eval/topology_factory.h"
+#include "expansion/cost_model.h"
 #include "flow/bisection.h"
 #include "flow/restricted.h"
 #include "flow/throughput.h"
+#include "layout/cabling.h"
 #include "routing/diversity.h"
+#include "topo/fattree.h"
 #include "traffic/traffic.h"
 
 namespace jf::eval {
@@ -23,6 +29,7 @@ constexpr std::uint64_t kTopoStream = 0x1000'0000ULL;
 constexpr std::uint64_t kTrafficStream = 0x2000'0000ULL;
 constexpr std::uint64_t kBisectionStream = 0x3000'0000ULL;
 constexpr std::uint64_t kSimStream = 0x4000'0000ULL;
+constexpr std::uint64_t kCapacityStream = 0x5000'0000ULL;
 
 // Traffic for sample `k` of (seed, topo) — deliberately independent of the
 // routing index so every routing scheme sees identical matrices.
@@ -52,19 +59,87 @@ struct Cell {
   std::uint64_t seed = 0;
 };
 
-std::vector<Sample> run_cell(const Scenario& s, const Cell& cell) {
+// Per-topology resources built once and shared read-only across seed cells
+// when the family is deterministic (see EngineOptions::share_path_cache).
+struct SharedTopology {
+  std::optional<topo::Topology> topology;
+  // One fully warmed provider per routing index; null entries mean the cell
+  // builds its own (provider not safe to share).
+  std::vector<std::unique_ptr<routing::PathProvider>> providers;
+};
+
+void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
+                      const std::function<void(const std::string&, int, double)>& emit) {
+  const TopologySpec& spec = s.topologies[static_cast<std::size_t>(cell.topo)];
+  switch (m) {
+    case Metric::kMinPorts: {
+      std::size_t ports = 0;
+      if (spec.family == "fattree") {
+        check(spec.fattree_k >= 2, "kMinPorts: fattree needs fattree_k >= 2");
+        const int servers =
+            spec.servers > 0 ? spec.servers : topo::fattree_servers(spec.fattree_k);
+        ports = flow::fattree_min_ports_full_bisection(servers, {&spec.fattree_k, 1});
+      } else if (spec.family == "jellyfish") {
+        check(spec.servers > 0 && spec.ports > 0,
+              "kMinPorts: jellyfish needs servers and ports");
+        ports = flow::jellyfish_min_ports_full_bisection(spec.servers, spec.ports);
+      } else {
+        check(false, "kMinPorts: only jellyfish and fattree families are supported");
+      }
+      emit("min_ports", 0, static_cast<double>(ports));
+      break;
+    }
+    case Metric::kCapacity: {
+      if (spec.family == "fattree") {
+        check(spec.fattree_k >= 2, "kCapacity: fattree needs fattree_k >= 2");
+        emit("max_servers", 0, static_cast<double>(topo::fattree_servers(spec.fattree_k)));
+      } else if (spec.family == "jellyfish") {
+        check(spec.switches >= 2 && spec.ports >= 1,
+              "kCapacity: jellyfish needs switches and ports");
+        Rng cr = Rng(cell.seed).fork(kCapacityStream +
+                                     static_cast<std::uint64_t>(cell.topo));
+        emit("max_servers", 0,
+             static_cast<double>(flow::max_servers_at_full_capacity(
+                 spec.switches, spec.ports, cr, s.capacity)));
+      } else {
+        check(false, "kCapacity: only jellyfish and fattree families are supported");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
+                             const SharedTopology& shared) {
   std::vector<Sample> out;
   auto emit = [&](const std::string& metric, int sample, double v) {
     out.push_back({cell.topo, cell.routing, cell.seed, sample, metric, v});
   };
 
   Rng seed_rng(cell.seed);
-  Rng topo_rng = seed_rng.fork(kTopoStream + static_cast<std::uint64_t>(cell.topo));
-  auto topo = build_topology(s.topologies[static_cast<std::size_t>(cell.topo)], topo_rng);
+  // The topology is built lazily: spec-only metrics (kMinPorts, kCapacity)
+  // never need it, and deterministic families reuse the shared build.
+  std::optional<topo::Topology> local_topo;
+  auto topology = [&]() -> const topo::Topology& {
+    if (shared.topology) return *shared.topology;
+    if (!local_topo) {
+      Rng topo_rng = seed_rng.fork(kTopoStream + static_cast<std::uint64_t>(cell.topo));
+      local_topo.emplace(
+          build_topology(s.topologies[static_cast<std::size_t>(cell.topo)], topo_rng));
+    }
+    return *local_topo;
+  };
 
   if (cell.routing < 0) {
     for (Metric m : s.metrics) {
       if (metric_needs_routing(m)) continue;
+      if (!metric_needs_build(m)) {
+        emit_spec_metric(s, cell, m, emit);
+        continue;
+      }
+      const topo::Topology& topo = topology();
       switch (m) {
         case Metric::kPathStats: {
           auto stats = Engine::path_stats(topo);
@@ -96,6 +171,18 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell) {
           emit("bisection", 0, Engine::bisection_bandwidth(topo, br));
           break;
         }
+        case Metric::kCabling: {
+          auto placement = layout::place(topo, s.cabling_placement);
+          auto stats = layout::analyze_cabling(topo, placement, expansion::CostModel{});
+          emit("cable_switch_count", 0, static_cast<double>(stats.switch_cables));
+          emit("cable_server_count", 0, static_cast<double>(stats.server_cables));
+          emit("cable_total_m", 0, stats.total_length_m);
+          emit("cable_mean_switch_m", 0, stats.mean_switch_cable_m);
+          emit("cable_optical_frac", 0, stats.optical_fraction);
+          emit("cable_bundles", 0, static_cast<double>(stats.bundles));
+          emit("cable_cost", 0, stats.material_cost);
+          break;
+        }
         default:
           break;
       }
@@ -103,31 +190,40 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell) {
     return out;
   }
 
-  auto routes = routing::make_path_provider(
-      topo.switches(), s.routings[static_cast<std::size_t>(cell.routing)]);
+  routing::PathProvider* shared_routes =
+      cell.routing < static_cast<int>(shared.providers.size())
+          ? shared.providers[static_cast<std::size_t>(cell.routing)].get()
+          : nullptr;
+  std::unique_ptr<routing::PathProvider> local_routes;
+  if (shared_routes == nullptr) {
+    local_routes = routing::make_path_provider(
+        topology().switches(), s.routings[static_cast<std::size_t>(cell.routing)]);
+  }
+  routing::PathProvider& routes = shared_routes ? *shared_routes : *local_routes;
   for (Metric m : s.metrics) {
     if (!metric_needs_routing(m)) continue;
     switch (m) {
       case Metric::kRoutedThroughput: {
         for (int k = 0; k < s.samples_per_seed; ++k) {
           Rng tr = traffic_rng(cell.seed, cell.topo, k);
-          auto tm = s.traffic.sample(topo.num_servers(), tr);
-          emit("routed_throughput", k, routed_fluid_throughput(topo, tm, *routes, s.mcf));
+          auto tm = s.traffic.sample(topology().num_servers(), tr);
+          emit("routed_throughput", k,
+               routed_fluid_throughput(topology(), tm, routes, s.mcf));
         }
         break;
       }
       case Metric::kLinkDiversity: {
-        flow::LinkIndex links(topo.switches());
+        flow::LinkIndex links(topology().switches());
         for (int k = 0; k < s.samples_per_seed; ++k) {
           Rng tr = traffic_rng(cell.seed, cell.topo, k);
-          auto tm = s.traffic.sample(topo.num_servers(), tr);
+          auto tm = s.traffic.sample(topology().num_servers(), tr);
           std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
           pairs.reserve(tm.flows.size());
           for (const auto& f : tm.flows) {
-            pairs.emplace_back(topo.server_switch(f.src_server),
-                               topo.server_switch(f.dst_server));
+            pairs.emplace_back(topology().server_switch(f.src_server),
+                               topology().server_switch(f.dst_server));
           }
-          auto counts = routing::link_path_counts(links, pairs, *routes);
+          auto counts = routing::link_path_counts(links, pairs, routes);
           auto r = routing::ranked(counts);
           double mean = 0.0;
           for (int c : r) mean += c;
@@ -151,12 +247,12 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell) {
       case Metric::kPacketSim: {
         for (int k = 0; k < s.samples_per_seed; ++k) {
           Rng tr = traffic_rng(cell.seed, cell.topo, k);
-          auto tm = s.traffic.sample(topo.num_servers(), tr);
+          auto tm = s.traffic.sample(topology().num_servers(), tr);
           Rng sim_rng = seed_rng.fork(kSimStream +
                                       static_cast<std::uint64_t>(cell.topo) * 262144 +
                                       static_cast<std::uint64_t>(cell.routing) * 4096 +
                                       static_cast<std::uint64_t>(k));
-          auto res = sim::run_workload(topo, tm, s.sim, *routes, sim_rng);
+          auto res = sim::run_workload(topology(), tm, s.sim, routes, sim_rng);
           emit("sim_goodput", k, res.mean_flow_throughput);
           emit("sim_fairness", k, res.jain_fairness);
           emit("sim_drops", k, static_cast<double>(res.packet_drops));
@@ -201,13 +297,127 @@ Report Engine::run(const Scenario& s) const {
     }
   }
 
+  const bool any_build =
+      std::any_of(s.metrics.begin(), s.metrics.end(),
+                  [](Metric m) { return metric_needs_build(m); });
+
+  // Deterministic families (fattree): build the topology once and — when the
+  // provider supports read-only concurrent use after a full warm — enumerate
+  // each routing scheme's paths once, instead of per seed. Warming runs in
+  // parallel across (topology, routing) and is skipped entirely with a
+  // single seed (nothing to share).
+  const bool wants_path_metrics =
+      std::any_of(s.metrics.begin(), s.metrics.end(), [](Metric m) {
+        return m == Metric::kRoutedThroughput || m == Metric::kLinkDiversity;
+      });
+  const bool wants_sim = std::any_of(s.metrics.begin(), s.metrics.end(),
+                                     [](Metric m) { return m == Metric::kPacketSim; });
+
+  std::vector<SharedTopology> shared(s.topologies.size());
+  if (opts_.share_path_cache && s.seeds.size() > 1 && any_build) {
+    for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+      const auto& spec = s.topologies[static_cast<std::size_t>(t)];
+      if (!topology_family_deterministic(spec.family)) continue;
+      // The factory ignores its Rng for deterministic families, so any seed
+      // yields the per-cell build.
+      Rng rng = Rng(s.seeds.front()).fork(kTopoStream + static_cast<std::uint64_t>(t));
+      auto& st = shared[static_cast<std::size_t>(t)];
+      st.topology.emplace(build_topology(spec, rng));
+      if (!has_routing_metrics) continue;
+      // Construction is cheap (caches fill lazily); keep only providers
+      // whose cache some requested metric will actually read —
+      // routed-throughput/diversity always read paths(), packet sim only
+      // through providers that route via enumerated paths (KSP, not ECMP).
+      st.providers.resize(s.routings.size());
+      for (int r = 0; r < static_cast<int>(s.routings.size()); ++r) {
+        auto provider = routing::make_path_provider(
+            st.topology->switches(), s.routings[static_cast<std::size_t>(r)]);
+        if (!provider->concurrent_after_warm()) continue;
+        if (!wants_path_metrics && !(wants_sim && provider->routes_via_paths())) continue;
+        st.providers[static_cast<std::size_t>(r)] = std::move(provider);
+      }
+    }
+    // The exact switch pairs this scenario's cells will query: every path
+    // consumer (restricted MCF commodities, diversity accounting, packet-sim
+    // routing) derives its endpoints from the deterministic per-(seed,
+    // sample) traffic matrices, so warming their union makes the shared
+    // cache read-only afterwards. Warming this union — rather than all n^2
+    // pairs — bounds the warm cost by what unshared cells would have
+    // computed anyway, while pairs repeated across seeds/samples (always,
+    // for all-to-all and hotspot traffic) are enumerated once. A metric
+    // that queried paths outside the traffic-derived pair set would need to
+    // extend this collection before sharing could stay safe.
+    std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> query_pairs(
+        s.topologies.size());
+    for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+      auto& st = shared[static_cast<std::size_t>(t)];
+      const bool any_provider =
+          std::any_of(st.providers.begin(), st.providers.end(),
+                      [](const auto& p) { return p != nullptr; });
+      if (!any_provider) continue;
+      std::set<std::uint64_t> seen;
+      for (std::uint64_t seed : s.seeds) {
+        for (int k = 0; k < s.samples_per_seed; ++k) {
+          Rng tr = traffic_rng(seed, t, k);
+          auto tm = s.traffic.sample(st.topology->num_servers(), tr);
+          for (const auto& f : tm.flows) {
+            const graph::NodeId a = st.topology->server_switch(f.src_server);
+            const graph::NodeId b = st.topology->server_switch(f.dst_server);
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+                static_cast<std::uint32_t>(b);
+            if (seen.insert(key).second) {
+              query_pairs[static_cast<std::size_t>(t)].emplace_back(a, b);
+            }
+          }
+        }
+      }
+    }
+    std::vector<std::pair<int, int>> warm_jobs;  // (topology, routing)
+    for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+      const auto& st = shared[static_cast<std::size_t>(t)];
+      for (int r = 0; r < static_cast<int>(st.providers.size()); ++r) {
+        if (st.providers[static_cast<std::size_t>(r)]) warm_jobs.emplace_back(t, r);
+      }
+    }
+    parallel_for(static_cast<int>(warm_jobs.size()), opts_.threads, [&](int i) {
+      const auto [t, r] = warm_jobs[static_cast<std::size_t>(i)];
+      auto& st = shared[static_cast<std::size_t>(t)];
+      auto& provider = *st.providers[static_cast<std::size_t>(r)];
+      for (const auto& [a, b] : query_pairs[static_cast<std::size_t>(t)]) {
+        provider.paths(a, b);
+      }
+    });
+  }
+
   std::vector<std::vector<Sample>> results(cells.size());
-  parallel_for(static_cast<int>(cells.size()), opts_.threads,
-               [&](int i) { results[static_cast<std::size_t>(i)] = run_cell(s, cells[i]); });
+  parallel_for(static_cast<int>(cells.size()), opts_.threads, [&](int i) {
+    const Cell& cell = cells[static_cast<std::size_t>(i)];
+    results[static_cast<std::size_t>(i)] =
+        run_cell(s, cell, shared[static_cast<std::size_t>(cell.topo)]);
+  });
 
   Report report;
   report.scenario = s.name;
-  for (const auto& t : s.topologies) report.topology_labels.push_back(t.display());
+  // Duplicate display labels (e.g. the same family listed twice without
+  // explicit labels) get a "#i" suffix so aggregate rows stay
+  // distinguishable. Generated suffixes also dodge explicit labels (e.g.
+  // user topologies ["a", "a", "a#2"] become ["a", "a#3", "a#2"]).
+  std::set<std::string> original_labels;
+  for (const auto& t : s.topologies) original_labels.insert(t.display());
+  std::map<std::string, int> label_uses;
+  std::set<std::string> assigned;
+  for (const auto& t : s.topologies) {
+    const std::string base = t.display();
+    int n = ++label_uses[base];
+    std::string label = n == 1 ? base : base + "#" + std::to_string(n);
+    while (assigned.contains(label) ||
+           (label != base && original_labels.contains(label))) {
+      label = base + "#" + std::to_string(++n);
+    }
+    assigned.insert(label);
+    report.topology_labels.push_back(label);
+  }
   for (const auto& r : s.routings) report.routing_labels.push_back(r.label());
   for (auto& cell_samples : results) {
     for (auto& sample : cell_samples) report.samples.push_back(std::move(sample));

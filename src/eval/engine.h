@@ -24,6 +24,14 @@ namespace jf::eval {
 
 struct EngineOptions {
   int threads = 0;  // worker threads; <= 0 selects hardware concurrency
+  // For deterministic topology families (fattree, or families registered as
+  // deterministic), build the topology once and warm one PathProvider per
+  // routing scheme with the union of switch pairs the scenario's traffic
+  // will query, then share both read-only across seed cells — pairs
+  // repeated across seeds/samples run Yen/ECMP enumeration once instead of
+  // once per seed. Results are identical either way; this is purely a
+  // time/memory trade.
+  bool share_path_cache = true;
 };
 
 class Engine {

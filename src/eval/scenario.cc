@@ -27,9 +27,22 @@ bool metric_needs_routing(Metric m) {
     case Metric::kServerCdf:
     case Metric::kThroughput:
     case Metric::kBisection:
+    case Metric::kCabling:
+    case Metric::kMinPorts:
+    case Metric::kCapacity:
       return false;
   }
   return false;
+}
+
+bool metric_needs_build(Metric m) {
+  switch (m) {
+    case Metric::kMinPorts:
+    case Metric::kCapacity:
+      return false;
+    default:
+      return true;
+  }
 }
 
 std::string metric_name(Metric m) {
@@ -48,8 +61,32 @@ std::string metric_name(Metric m) {
       return "link_diversity";
     case Metric::kPacketSim:
       return "packet_sim";
+    case Metric::kCabling:
+      return "cabling";
+    case Metric::kMinPorts:
+      return "min_ports";
+    case Metric::kCapacity:
+      return "capacity";
   }
   return "unknown";
+}
+
+Metric metric_from_name(const std::string& name) {
+  for (Metric m : all_metrics()) {
+    if (metric_name(m) == name) return m;
+  }
+  check(false, "metric_from_name: unknown metric '" + name + "'");
+  return Metric::kPathStats;
+}
+
+const std::vector<Metric>& all_metrics() {
+  static const std::vector<Metric> all = {
+      Metric::kPathStats,   Metric::kServerCdf,     Metric::kThroughput,
+      Metric::kBisection,   Metric::kRoutedThroughput, Metric::kLinkDiversity,
+      Metric::kPacketSim,   Metric::kCabling,       Metric::kMinPorts,
+      Metric::kCapacity,
+  };
+  return all;
 }
 
 }  // namespace jf::eval

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "flow/mcf.h"
+#include "flow/throughput.h"
+#include "layout/placement.h"
 #include "routing/path_provider.h"
 #include "sim/workload.h"
 #include "traffic/traffic.h"
@@ -83,14 +85,28 @@ enum class Metric {
   kRoutedThroughput,  // fluid MCF restricted to the scheme's path sets
   kLinkDiversity,     // div_frac_le2, div_mean, div_p50, div_p90, div_max
   kPacketSim,         // sim_goodput, sim_fairness, sim_drops
+  kCabling,           // §6 cable counts/lengths/costs via layout/cabling
+  kMinPorts,          // Fig. 2(b): min total ports at full bisection (analytic)
+  kCapacity,          // Fig. 2(c): max servers at full capacity (search)
 };
 
 // True for metrics evaluated once per (topology, routing, seed) cell; false
 // for metrics evaluated once per (topology, seed) regardless of routing.
 bool metric_needs_routing(Metric m);
 
+// False for design-space metrics (kMinPorts, kCapacity) computed from the
+// TopologySpec alone; cells skip building the topology when every requested
+// routing-free metric is spec-only.
+bool metric_needs_build(Metric m);
+
 // Metric enum -> stable name prefix used in Sample::metric.
 std::string metric_name(Metric m);
+
+// Inverse of metric_name; throws std::invalid_argument for unknown names.
+Metric metric_from_name(const std::string& name);
+
+// Every Metric, in enum order (for CLIs and serialization).
+const std::vector<Metric>& all_metrics();
 
 struct Scenario {
   std::string name = "scenario";
@@ -111,6 +127,12 @@ struct Scenario {
   // Transport/timing settings for kPacketSim. The routing field inside is
   // ignored: each cell routes through its own RoutingSpec's provider.
   sim::WorkloadConfig sim;
+  // Binary-search settings for kCapacity (jellyfish rows only; fat-tree rows
+  // are analytic).
+  flow::CapacitySearchOptions capacity;
+  // Physical placement model for kCabling rows (§6.2 switch cluster is the
+  // paper's recommendation; kToRInRack is the naive baseline).
+  layout::PlacementStyle cabling_placement = layout::PlacementStyle::kCentralCluster;
 };
 
 }  // namespace jf::eval

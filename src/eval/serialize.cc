@@ -1,0 +1,670 @@
+#include "eval/serialize.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+// gcc 12 emits spurious -Warray-bounds through the inlined realloc path of
+// vector<pair<string, Value>>::emplace_back (GCC PR 104475); every
+// emplacement here targets a local vector, so the diagnostic is noise.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+namespace jf::eval {
+
+namespace {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+[[noreturn]] void schema_error(const std::string& ctx, const std::string& msg) {
+  throw std::invalid_argument(ctx + ": " + msg);
+}
+
+// Strict object walker: every key must be consumed via get()/require()
+// before done(), which rejects leftovers by name.
+class ObjectReader {
+ public:
+  ObjectReader(const Value& v, std::string ctx) : ctx_(std::move(ctx)) {
+    if (!v.is_object()) {
+      schema_error(ctx_, "expected object, got " +
+                             std::string(Value::kind_name(v.kind())));
+    }
+    obj_ = &v.as_object();
+    used_.assign(obj_->size(), false);
+  }
+
+  const std::string& ctx() const { return ctx_; }
+
+  const Value* get(std::string_view key) {
+    for (std::size_t i = 0; i < obj_->size(); ++i) {
+      if ((*obj_)[i].first == key) {
+        used_[i] = true;
+        return &(*obj_)[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  void done() {
+    for (std::size_t i = 0; i < obj_->size(); ++i) {
+      if (!used_[i]) schema_error(ctx_, "unknown key '" + (*obj_)[i].first + "'");
+    }
+  }
+
+  // Typed readers; absent keys keep the caller's default. Kind mismatches
+  // are rethrown with the field's context path ("scenario.topologies[0]
+  // .switches: json: expected number, got string").
+  void read(std::string_view key, std::string& out) {
+    if (const Value* v = get(key)) out = located(key, [&] { return v->as_string(); });
+  }
+  void read(std::string_view key, int& out) {
+    if (const Value* v = get(key)) {
+      out = located(key, [&] {
+        const std::int64_t x = v->as_int();
+        if (x < std::numeric_limits<int>::min() || x > std::numeric_limits<int>::max()) {
+          throw std::runtime_error("json: integer " + std::to_string(x) +
+                                   " out of int range");
+        }
+        return static_cast<int>(x);
+      });
+    }
+  }
+  void read(std::string_view key, double& out) {
+    if (const Value* v = get(key)) out = located(key, [&] { return v->as_number(); });
+  }
+  void read(std::string_view key, std::int64_t& out) {
+    if (const Value* v = get(key)) out = located(key, [&] { return v->as_int(); });
+  }
+
+ private:
+  template <typename Fn>
+  auto located(std::string_view key, Fn&& fn) -> decltype(fn()) {
+    try {
+      return fn();
+    } catch (const std::runtime_error& e) {
+      schema_error(ctx_ + "." + std::string(key), e.what());
+    }
+  }
+
+  std::string ctx_;
+  const Object* obj_ = nullptr;
+  std::vector<bool> used_;
+};
+
+// Runs fn, rethrowing JSON accessor errors with the context path prepended
+// (for array/element reads that don't go through ObjectReader::read).
+template <typename Fn>
+auto with_ctx(const std::string& ctx, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::runtime_error& e) {
+    schema_error(ctx, e.what());
+  }
+}
+
+// --- enum <-> string ---
+
+std::string traffic_kind_name(TrafficSpec::Kind k) {
+  switch (k) {
+    case TrafficSpec::Kind::kPermutation: return "permutation";
+    case TrafficSpec::Kind::kAllToAll: return "all_to_all";
+    case TrafficSpec::Kind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+TrafficSpec::Kind traffic_kind_from(const std::string& name, const std::string& ctx) {
+  if (name == "permutation") return TrafficSpec::Kind::kPermutation;
+  if (name == "all_to_all") return TrafficSpec::Kind::kAllToAll;
+  if (name == "hotspot") return TrafficSpec::Kind::kHotspot;
+  schema_error(ctx, "unknown traffic kind '" + name + "'");
+}
+
+std::string transport_name(sim::Transport t) {
+  return t == sim::Transport::kMptcp ? "mptcp" : "tcp";
+}
+
+sim::Transport transport_from(const std::string& name, const std::string& ctx) {
+  if (name == "tcp") return sim::Transport::kTcp;
+  if (name == "mptcp") return sim::Transport::kMptcp;
+  schema_error(ctx, "unknown transport '" + name + "'");
+}
+
+std::string placement_name(layout::PlacementStyle s) {
+  return s == layout::PlacementStyle::kToRInRack ? "tor-in-rack" : "switch-cluster";
+}
+
+layout::PlacementStyle placement_from(const std::string& name, const std::string& ctx) {
+  if (name == "tor-in-rack") return layout::PlacementStyle::kToRInRack;
+  if (name == "switch-cluster") return layout::PlacementStyle::kCentralCluster;
+  schema_error(ctx, "unknown cabling placement '" + name + "'");
+}
+
+// --- component writers ---
+
+Value topology_to_json(const TopologySpec& t) {
+  Object o;
+  o.emplace_back("family", t.family);
+  o.emplace_back("label", t.label);
+  o.emplace_back("switches", t.switches);
+  o.emplace_back("ports", t.ports);
+  o.emplace_back("servers", t.servers);
+  o.emplace_back("fattree_k", t.fattree_k);
+  o.emplace_back("degree", t.degree);
+  o.emplace_back("servers_per_switch", t.servers_per_switch);
+  o.emplace_back("containers", t.containers);
+  o.emplace_back("switches_per_container", t.switches_per_container);
+  o.emplace_back("network_degree", t.network_degree);
+  o.emplace_back("local_fraction", t.local_fraction);
+  return Value(std::move(o));
+}
+
+TopologySpec topology_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  TopologySpec t;
+  r.read("family", t.family);
+  r.read("label", t.label);
+  r.read("switches", t.switches);
+  r.read("ports", t.ports);
+  r.read("servers", t.servers);
+  r.read("fattree_k", t.fattree_k);
+  r.read("degree", t.degree);
+  r.read("servers_per_switch", t.servers_per_switch);
+  r.read("containers", t.containers);
+  r.read("switches_per_container", t.switches_per_container);
+  r.read("network_degree", t.network_degree);
+  r.read("local_fraction", t.local_fraction);
+  r.done();
+  return t;
+}
+
+Value routing_to_json(const routing::RoutingSpec& rs) {
+  Object o;
+  o.emplace_back("scheme", rs.scheme);
+  o.emplace_back("width", rs.width);
+  return Value(std::move(o));
+}
+
+routing::RoutingSpec routing_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  routing::RoutingSpec rs;
+  r.read("scheme", rs.scheme);
+  r.read("width", rs.width);
+  r.done();
+  return rs;
+}
+
+Value traffic_to_json(const TrafficSpec& t) {
+  Object o;
+  o.emplace_back("kind", traffic_kind_name(t.kind));
+  o.emplace_back("demand", t.demand);
+  o.emplace_back("num_hot", t.num_hot);
+  o.emplace_back("fan_in", t.fan_in);
+  return Value(std::move(o));
+}
+
+TrafficSpec traffic_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  TrafficSpec t;
+  if (const Value* kind = r.get("kind")) {
+    t.kind = traffic_kind_from(kind->as_string(), ctx + ".kind");
+  }
+  r.read("demand", t.demand);
+  r.read("num_hot", t.num_hot);
+  r.read("fan_in", t.fan_in);
+  r.done();
+  return t;
+}
+
+Value mcf_to_json(const flow::McfOptions& m) {
+  Object o;
+  o.emplace_back("epsilon", m.epsilon);
+  o.emplace_back("max_phases", m.max_phases);
+  o.emplace_back("convergence_tol", m.convergence_tol);
+  o.emplace_back("convergence_window", m.convergence_window);
+  o.emplace_back("decide_threshold", m.decide_threshold);
+  o.emplace_back("link_capacity", m.link_capacity);
+  return Value(std::move(o));
+}
+
+flow::McfOptions mcf_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  flow::McfOptions m;
+  r.read("epsilon", m.epsilon);
+  r.read("max_phases", m.max_phases);
+  r.read("convergence_tol", m.convergence_tol);
+  r.read("convergence_window", m.convergence_window);
+  r.read("decide_threshold", m.decide_threshold);
+  r.read("link_capacity", m.link_capacity);
+  r.done();
+  return m;
+}
+
+Value sim_net_to_json(const sim::SimConfig& c) {
+  Object o;
+  o.emplace_back("link_rate_bps", c.link_rate_bps);
+  o.emplace_back("link_delay_ns", c.link_delay_ns);
+  o.emplace_back("queue_capacity_pkts", c.queue_capacity_pkts);
+  o.emplace_back("payload_bytes", c.payload_bytes);
+  o.emplace_back("ack_bytes", c.ack_bytes);
+  o.emplace_back("initial_cwnd_pkts", c.initial_cwnd_pkts);
+  o.emplace_back("min_rto_ns", c.min_rto_ns);
+  o.emplace_back("initial_rto_ns", c.initial_rto_ns);
+  o.emplace_back("max_rto_ns", c.max_rto_ns);
+  o.emplace_back("loss_feedback_floor_ns", c.loss_feedback_floor_ns);
+  return Value(std::move(o));
+}
+
+sim::SimConfig sim_net_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  sim::SimConfig c;
+  r.read("link_rate_bps", c.link_rate_bps);
+  r.read("link_delay_ns", c.link_delay_ns);
+  r.read("queue_capacity_pkts", c.queue_capacity_pkts);
+  r.read("payload_bytes", c.payload_bytes);
+  r.read("ack_bytes", c.ack_bytes);
+  r.read("initial_cwnd_pkts", c.initial_cwnd_pkts);
+  r.read("min_rto_ns", c.min_rto_ns);
+  r.read("initial_rto_ns", c.initial_rto_ns);
+  r.read("max_rto_ns", c.max_rto_ns);
+  r.read("loss_feedback_floor_ns", c.loss_feedback_floor_ns);
+  r.done();
+  return c;
+}
+
+// WorkloadConfig::routing is deliberately not serialized: the engine routes
+// each cell through its RoutingSpec's provider and ignores that field.
+Value sim_to_json(const sim::WorkloadConfig& w) {
+  Object o;
+  o.emplace_back("transport", transport_name(w.transport));
+  o.emplace_back("parallel_connections", w.parallel_connections);
+  o.emplace_back("subflows", w.subflows);
+  o.emplace_back("warmup_ns", w.warmup_ns);
+  o.emplace_back("measure_ns", w.measure_ns);
+  o.emplace_back("start_jitter_ns", w.start_jitter_ns);
+  o.emplace_back("net", sim_net_to_json(w.sim));
+  return Value(std::move(o));
+}
+
+sim::WorkloadConfig sim_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  sim::WorkloadConfig w;
+  if (const Value* t = r.get("transport")) {
+    w.transport = transport_from(t->as_string(), ctx + ".transport");
+  }
+  r.read("parallel_connections", w.parallel_connections);
+  r.read("subflows", w.subflows);
+  r.read("warmup_ns", w.warmup_ns);
+  r.read("measure_ns", w.measure_ns);
+  r.read("start_jitter_ns", w.start_jitter_ns);
+  if (const Value* net = r.get("net")) w.sim = sim_net_from_json(*net, ctx + ".net");
+  r.done();
+  return w;
+}
+
+Value capacity_to_json(const flow::CapacitySearchOptions& c) {
+  Object o;
+  o.emplace_back("matrices_per_check", c.matrices_per_check);
+  o.emplace_back("threshold", c.threshold);
+  o.emplace_back("verify_matrices", c.verify_matrices);
+  return Value(std::move(o));
+}
+
+flow::CapacitySearchOptions capacity_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  flow::CapacitySearchOptions c;
+  r.read("matrices_per_check", c.matrices_per_check);
+  r.read("threshold", c.threshold);
+  r.read("verify_matrices", c.verify_matrices);
+  r.done();
+  return c;
+}
+
+// --- sweep axes ---
+
+AxisEntry axis_entry_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  AxisEntry entry;
+  r.read("field", entry.field);
+  if (entry.field.empty()) schema_error(ctx, "missing required key 'field'");
+  {
+    bool known = false;
+    for (const auto& f : sweep_fields()) known = known || f == entry.field;
+    if (!known) schema_error(ctx, "unknown sweep field '" + entry.field + "'");
+  }
+  r.read("only", entry.only);
+
+  const Value* values = r.get("values");
+  const Value* from = r.get("from");
+  const Value* to = r.get("to");
+  const Value* step = r.get("step");
+  if (values != nullptr) {
+    if (from || to || step) {
+      schema_error(ctx, "'values' and 'from'/'to'/'step' are mutually exclusive");
+    }
+    with_ctx(ctx + ".values", [&] {
+      for (const auto& x : values->as_array()) entry.values.push_back(x.as_number());
+    });
+    if (entry.values.empty()) schema_error(ctx, "'values' must be non-empty");
+  } else {
+    if (!from || !to || !step) {
+      schema_error(ctx, "need either 'values' or all of 'from'/'to'/'step'");
+    }
+    const double lo = with_ctx(ctx + ".from", [&] { return from->as_number(); });
+    const double hi = with_ctx(ctx + ".to", [&] { return to->as_number(); });
+    const double by = with_ctx(ctx + ".step", [&] { return step->as_number(); });
+    if (by == 0.0) schema_error(ctx, "bad range: step must be non-zero");
+    if ((hi - lo) * by < 0.0) {
+      schema_error(ctx, "bad range: step moves away from 'to'");
+    }
+    // Inclusive expansion; the epsilon absorbs float drift on e.g. 0.1
+    // steps. The cap is enforced on the double — casting an out-of-range
+    // double to integer is UB.
+    const double raw_count = std::floor((hi - lo) / by + 1e-9) + 1;
+    if (raw_count > 1'000'000) schema_error(ctx, "bad range: more than 1e6 points");
+    const long long count = static_cast<long long>(raw_count);
+    for (long long i = 0; i < count; ++i) {
+      entry.values.push_back(lo + static_cast<double>(i) * by);
+    }
+  }
+  r.done();
+  return entry;
+}
+
+SweepAxis axis_from_json(const Value& v, const std::string& ctx) {
+  SweepAxis axis;
+  if (v.is_object() && v.find("entries") != nullptr) {
+    ObjectReader r(v, ctx);
+    const Value* entries = r.get("entries");
+    r.done();
+    const Array& arr = with_ctx(ctx + ".entries",
+                                [&]() -> const Array& { return entries->as_array(); });
+    if (arr.empty()) schema_error(ctx, "'entries' must be non-empty");
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      axis.entries.push_back(
+          axis_entry_from_json(arr[i], ctx + ".entries[" + std::to_string(i) + "]"));
+    }
+  } else {
+    axis.entries.push_back(axis_entry_from_json(v, ctx));
+  }
+  const std::size_t n = axis.entries.front().values.size();
+  for (const auto& e : axis.entries) {
+    if (e.values.size() != n) {
+      schema_error(ctx, "zipped entries disagree on length: '" + e.field + "' has " +
+                            std::to_string(e.values.size()) + " values, expected " +
+                            std::to_string(n));
+    }
+  }
+  return axis;
+}
+
+Value axis_to_json(const SweepAxis& axis) {
+  Array entries;
+  for (const auto& e : axis.entries) {
+    Object o;
+    o.emplace_back("field", e.field);
+    if (!e.only.empty()) o.emplace_back("only", e.only);
+    Array values;
+    for (double v : e.values) values.emplace_back(v);
+    o.emplace_back("values", Value(std::move(values)));
+    entries.emplace_back(Value(std::move(o)));
+  }
+  Object axis_obj;
+  axis_obj.emplace_back("entries", Value(std::move(entries)));
+  return Value(std::move(axis_obj));
+}
+
+// Shared scenario-body loader; `sweep_out` non-null permits a "sweep" key.
+Scenario scenario_from_json_impl(const Value& v, std::vector<SweepAxis>* sweep_out) {
+  const std::string ctx = "scenario";
+  ObjectReader r(v, ctx);
+  Scenario s;
+  r.read("name", s.name);
+  if (const Value* topos = r.get("topologies")) {
+    s.topologies.clear();
+    const Array& arr = with_ctx(ctx + ".topologies",
+                                [&]() -> const Array& { return topos->as_array(); });
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      s.topologies.push_back(
+          topology_from_json(arr[i], ctx + ".topologies[" + std::to_string(i) + "]"));
+    }
+  }
+  if (const Value* routings = r.get("routings")) {
+    s.routings.clear();
+    const Array& arr = with_ctx(ctx + ".routings",
+                                [&]() -> const Array& { return routings->as_array(); });
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      s.routings.push_back(
+          routing_from_json(arr[i], ctx + ".routings[" + std::to_string(i) + "]"));
+    }
+  }
+  if (const Value* traffic = r.get("traffic")) {
+    s.traffic = traffic_from_json(*traffic, ctx + ".traffic");
+  }
+  if (const Value* metrics = r.get("metrics")) {
+    s.metrics.clear();
+    with_ctx(ctx + ".metrics", [&] {
+      for (const auto& m : metrics->as_array()) {
+        try {
+          s.metrics.push_back(metric_from_name(m.as_string()));
+        } catch (const std::invalid_argument& e) {
+          throw std::runtime_error(e.what());
+        }
+      }
+    });
+    if (s.metrics.empty()) schema_error(ctx + ".metrics", "must be non-empty");
+  }
+  if (const Value* seeds = r.get("seeds")) {
+    s.seeds.clear();
+    with_ctx(ctx + ".seeds", [&] {
+      for (const auto& seed : seeds->as_array()) s.seeds.push_back(seed.as_uint());
+    });
+    if (s.seeds.empty()) schema_error(ctx + ".seeds", "must be non-empty");
+  }
+  r.read("samples_per_seed", s.samples_per_seed);
+  if (const Value* mcf = r.get("mcf")) s.mcf = mcf_from_json(*mcf, ctx + ".mcf");
+  if (const Value* sim = r.get("sim")) s.sim = sim_from_json(*sim, ctx + ".sim");
+  if (const Value* cap = r.get("capacity")) {
+    s.capacity = capacity_from_json(*cap, ctx + ".capacity");
+  }
+  if (const Value* placement = r.get("cabling_placement")) {
+    s.cabling_placement =
+        placement_from(placement->as_string(), ctx + ".cabling_placement");
+  }
+  if (sweep_out != nullptr) {
+    if (const Value* sweep = r.get("sweep")) {
+      const Array& arr = with_ctx(ctx + ".sweep",
+                                  [&]() -> const Array& { return sweep->as_array(); });
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        sweep_out->push_back(
+            axis_from_json(arr[i], ctx + ".sweep[" + std::to_string(i) + "]"));
+      }
+    }
+  }
+  r.done();
+  return s;
+}
+
+Value scenario_to_json_impl(const Scenario& s, const std::vector<SweepAxis>* axes) {
+  Object o;
+  o.emplace_back("name", s.name);
+  Array topos;
+  for (const auto& t : s.topologies) topos.push_back(topology_to_json(t));
+  o.emplace_back("topologies", Value(std::move(topos)));
+  Array routings;
+  for (const auto& rs : s.routings) routings.push_back(routing_to_json(rs));
+  o.emplace_back("routings", Value(std::move(routings)));
+  o.emplace_back("traffic", traffic_to_json(s.traffic));
+  Array metrics;
+  for (Metric m : s.metrics) metrics.emplace_back(metric_name(m));
+  o.emplace_back("metrics", Value(std::move(metrics)));
+  Array seeds;
+  for (std::uint64_t seed : s.seeds) seeds.emplace_back(seed);
+  o.emplace_back("seeds", Value(std::move(seeds)));
+  o.emplace_back("samples_per_seed", s.samples_per_seed);
+  o.emplace_back("mcf", mcf_to_json(s.mcf));
+  o.emplace_back("sim", sim_to_json(s.sim));
+  o.emplace_back("capacity", capacity_to_json(s.capacity));
+  o.emplace_back("cabling_placement", placement_name(s.cabling_placement));
+  if (axes != nullptr && !axes->empty()) {
+    Array sweep;
+    for (const auto& axis : *axes) sweep.push_back(axis_to_json(axis));
+    o.emplace_back("sweep", Value(std::move(sweep)));
+  }
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+Value scenario_to_json(const Scenario& s) { return scenario_to_json_impl(s, nullptr); }
+
+Scenario scenario_from_json(const Value& v) {
+  return scenario_from_json_impl(v, nullptr);
+}
+
+Value sweep_to_json(const SweepSpec& spec) {
+  return scenario_to_json_impl(spec.base, &spec.axes);
+}
+
+SweepSpec sweep_from_json(const Value& v) {
+  SweepSpec spec;
+  spec.base = scenario_from_json_impl(v, &spec.axes);
+  return spec;
+}
+
+SweepSpec load_sweep_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read scenario file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return sweep_from_json(Value::parse(buf.str()));
+}
+
+Value report_to_json(const Report& r) {
+  Object o;
+  o.emplace_back("scenario", r.scenario);
+  Array topos;
+  for (const auto& label : r.topology_labels) topos.emplace_back(label);
+  o.emplace_back("topologies", Value(std::move(topos)));
+  Array routings;
+  for (const auto& label : r.routing_labels) routings.emplace_back(label);
+  o.emplace_back("routings", Value(std::move(routings)));
+  Array samples;
+  for (const auto& s : r.samples) {
+    Array row;
+    row.emplace_back(s.topology);
+    row.emplace_back(s.routing);
+    row.emplace_back(s.seed);
+    row.emplace_back(s.sample);
+    row.emplace_back(s.metric);
+    row.emplace_back(s.value);
+    samples.emplace_back(Value(std::move(row)));
+  }
+  o.emplace_back("samples", Value(std::move(samples)));
+  Array aggregates;
+  for (const auto& row : r.aggregates()) {
+    Object a;
+    a.emplace_back("topology", row.topology);
+    a.emplace_back("routing", row.routing);
+    a.emplace_back("metric", row.metric);
+    a.emplace_back("mean", row.summary.mean);
+    a.emplace_back("stddev", row.summary.stddev);
+    a.emplace_back("min", row.summary.min);
+    a.emplace_back("max", row.summary.max);
+    a.emplace_back("n", row.summary.count);
+    aggregates.emplace_back(Value(std::move(a)));
+  }
+  o.emplace_back("aggregates", Value(std::move(aggregates)));
+  return Value(std::move(o));
+}
+
+Report report_from_json(const Value& v) {
+  const std::string ctx = "report";
+  ObjectReader r(v, ctx);
+  Report out;
+  r.read("scenario", out.scenario);
+  if (const Value* topos = r.get("topologies")) {
+    for (const auto& label : topos->as_array()) out.topology_labels.push_back(label.as_string());
+  }
+  if (const Value* routings = r.get("routings")) {
+    for (const auto& label : routings->as_array()) {
+      out.routing_labels.push_back(label.as_string());
+    }
+  }
+  if (const Value* samples = r.get("samples")) {
+    for (const auto& row_v : samples->as_array()) {
+      const Array& row = row_v.as_array();
+      if (row.size() != 6) schema_error(ctx + ".samples", "sample rows have 6 entries");
+      Sample s;
+      s.topology = static_cast<int>(row[0].as_int());
+      s.routing = static_cast<int>(row[1].as_int());
+      s.seed = row[2].as_uint();
+      s.sample = static_cast<int>(row[3].as_int());
+      s.metric = row[4].as_string();
+      s.value = row[5].as_number();
+      out.samples.push_back(std::move(s));
+    }
+  }
+  r.get("aggregates");  // derived from samples; accepted and ignored
+  r.done();
+  return out;
+}
+
+Value sweep_report_to_json(const SweepReport& r) {
+  Object o;
+  o.emplace_back("name", r.name);
+  Array points;
+  for (const auto& p : r.points) {
+    Object po;
+    po.emplace_back("label", p.label);
+    Array coords;
+    for (const auto& [field, value] : p.coords) {
+      Object c;
+      c.emplace_back("field", field);
+      c.emplace_back("value", value);
+      coords.emplace_back(Value(std::move(c)));
+    }
+    po.emplace_back("coords", Value(std::move(coords)));
+    po.emplace_back("report", report_to_json(p.report));
+    points.emplace_back(Value(std::move(po)));
+  }
+  o.emplace_back("points", Value(std::move(points)));
+  return Value(std::move(o));
+}
+
+SweepReport sweep_report_from_json(const Value& v) {
+  const std::string ctx = "sweep_report";
+  ObjectReader r(v, ctx);
+  SweepReport out;
+  r.read("name", out.name);
+  if (const Value* points = r.get("points")) {
+    for (std::size_t i = 0; i < points->as_array().size(); ++i) {
+      const Value& pv = points->as_array()[i];
+      ObjectReader pr(pv, ctx + ".points[" + std::to_string(i) + "]");
+      SweepPointResult p;
+      pr.read("label", p.label);
+      if (const Value* coords = pr.get("coords")) {
+        for (const auto& cv : coords->as_array()) {
+          ObjectReader cr(cv, pr.ctx() + ".coords");
+          std::string field;
+          double value = 0.0;
+          cr.read("field", field);
+          cr.read("value", value);
+          cr.done();
+          p.coords.emplace_back(std::move(field), value);
+        }
+      }
+      if (const Value* report = pr.get("report")) p.report = report_from_json(*report);
+      pr.done();
+      out.points.push_back(std::move(p));
+    }
+  }
+  r.done();
+  return out;
+}
+
+}  // namespace jf::eval

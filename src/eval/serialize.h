@@ -1,0 +1,69 @@
+// JSON serialization for the experiment farm: Scenario/SweepSpec loaders and
+// Report writers.
+//
+// Scenario files are strict — an unknown key anywhere is an error naming the
+// offending key and its context path (catching config typos beats silently
+// running the wrong experiment) — while known keys may be omitted and take
+// the C++ defaults. Writers emit every field in a fixed order, so
+// write -> load -> write is byte-identical, and Report JSON carries both the
+// raw per-seed samples and the derived aggregates.
+//
+// A scenario file is a JSON object of Scenario fields; an optional "sweep"
+// key turns it into a SweepSpec (see sweep.h):
+//
+//   {
+//     "name": "fig02a",
+//     "topologies": [{"family": "jellyfish", "switches": 720, "ports": 24,
+//                     "servers": 1440}],
+//     "metrics": ["bisection"],
+//     "seeds": [1, 2],
+//     "sweep": [{"field": "topology.servers",
+//                "from": 1440, "to": 6480, "step": 720}]
+//   }
+//
+// Sweep axes accept a bare entry object ({"field", "only"?, and either
+// "values": [...] or "from"/"to"/"step"}) or {"entries": [entry, ...]} for
+// zipped multi-field axes. Ranges are inclusive and expand at load time.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "eval/report.h"
+#include "eval/scenario.h"
+#include "eval/sweep.h"
+
+namespace jf::eval {
+
+// --- Scenario / SweepSpec ---
+
+json::Value scenario_to_json(const Scenario& s);
+// Strict loader; throws std::invalid_argument on unknown keys, bad kinds,
+// unknown metric/traffic/family-agnostic enum names, or bad sweep ranges.
+Scenario scenario_from_json(const json::Value& v);
+
+// Scenario fields plus the "sweep" key (omitted when there are no axes).
+json::Value sweep_to_json(const SweepSpec& spec);
+// Accepts a plain scenario object too (no "sweep" key -> zero axes).
+SweepSpec sweep_from_json(const json::Value& v);
+
+// Reads and parses a scenario/sweep file. Throws std::runtime_error when the
+// file cannot be read, json::ParseError on syntax, std::invalid_argument on
+// schema violations.
+SweepSpec load_sweep_file(const std::string& path);
+
+// --- Report ---
+
+// {"scenario", "topologies", "routings",
+//  "samples": [[topology, routing, seed, sample, metric, value], ...],
+//  "aggregates": [{topology, routing, metric, mean, stddev, min, max, n}]}
+json::Value report_to_json(const Report& r);
+// Rebuilds a Report from its JSON (aggregates are recomputed from samples).
+Report report_from_json(const json::Value& v);
+
+// {"name", "points": [{"label", "coords": [{"field", "value"}, ...],
+//                      "report": {...}}]}
+json::Value sweep_report_to_json(const SweepReport& r);
+SweepReport sweep_report_from_json(const json::Value& v);
+
+}  // namespace jf::eval

@@ -1,0 +1,251 @@
+#include "eval/sweep.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace jf::eval {
+
+namespace {
+
+// Field name after the "topology." / "routing." / ... prefix.
+std::string_view suffix_after(std::string_view field, std::string_view prefix) {
+  return field.substr(prefix.size());
+}
+
+int as_int_value(const AxisEntry& entry, double v) {
+  check(v == std::floor(v) && std::abs(v) < 2e9,
+        "sweep field '" + entry.field + "' needs an integer value");
+  return static_cast<int>(v);
+}
+
+bool topology_matches(const TopologySpec& t, const std::string& only) {
+  return only.empty() || t.family == only || t.label == only;
+}
+
+// Sets `member` on one TopologySpec; returns false for unknown members.
+bool set_topology_field(TopologySpec& t, std::string_view member, const AxisEntry& entry,
+                        double v) {
+  if (member == "switches") {
+    t.switches = as_int_value(entry, v);
+  } else if (member == "ports") {
+    t.ports = as_int_value(entry, v);
+  } else if (member == "servers") {
+    t.servers = as_int_value(entry, v);
+  } else if (member == "fattree_k") {
+    t.fattree_k = as_int_value(entry, v);
+  } else if (member == "degree") {
+    t.degree = as_int_value(entry, v);
+  } else if (member == "servers_per_switch") {
+    t.servers_per_switch = as_int_value(entry, v);
+  } else if (member == "containers") {
+    t.containers = as_int_value(entry, v);
+  } else if (member == "switches_per_container") {
+    t.switches_per_container = as_int_value(entry, v);
+  } else if (member == "network_degree") {
+    t.network_degree = as_int_value(entry, v);
+  } else if (member == "local_fraction") {
+    t.local_fraction = v;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& sweep_fields() {
+  static const std::vector<std::string> fields = {
+      "topology.switches",
+      "topology.ports",
+      "topology.servers",
+      "topology.fattree_k",
+      "topology.degree",
+      "topology.servers_per_switch",
+      "topology.containers",
+      "topology.switches_per_container",
+      "topology.network_degree",
+      "topology.local_fraction",
+      "routing.width",
+      "traffic.demand",
+      "traffic.num_hot",
+      "traffic.fan_in",
+      "samples_per_seed",
+      "sim.parallel_connections",
+      "sim.subflows",
+  };
+  return fields;
+}
+
+void apply_sweep_value(Scenario& s, const AxisEntry& entry, double value) {
+  const std::string& f = entry.field;
+  if (f.starts_with("topology.")) {
+    int matched = 0;
+    for (auto& t : s.topologies) {
+      if (!topology_matches(t, entry.only)) continue;
+      check(set_topology_field(t, suffix_after(f, "topology."), entry, value),
+            "unknown sweep field '" + f + "'");
+      ++matched;
+    }
+    check(matched > 0, "sweep field '" + f + "': filter '" + entry.only +
+                           "' matches no topology");
+    return;
+  }
+  check(entry.only.empty(), "sweep field '" + f + "': 'only' applies to topology.* fields");
+  if (f == "routing.width") {
+    check(!s.routings.empty(), "sweep field 'routing.width': scenario has no routings");
+    for (auto& r : s.routings) r.width = as_int_value(entry, value);
+  } else if (f == "traffic.demand") {
+    s.traffic.demand = value;
+  } else if (f == "traffic.num_hot") {
+    s.traffic.num_hot = as_int_value(entry, value);
+  } else if (f == "traffic.fan_in") {
+    s.traffic.fan_in = as_int_value(entry, value);
+  } else if (f == "samples_per_seed") {
+    s.samples_per_seed = as_int_value(entry, value);
+  } else if (f == "sim.parallel_connections") {
+    s.sim.parallel_connections = as_int_value(entry, value);
+  } else if (f == "sim.subflows") {
+    s.sim.subflows = as_int_value(entry, value);
+  } else {
+    check(false, "unknown sweep field '" + f + "'");
+  }
+}
+
+namespace {
+
+// "topology.servers" -> "servers"; non-topology fields keep the full path.
+std::string short_field(const std::string& field) {
+  if (field.starts_with("topology.")) return field.substr(std::string("topology.").size());
+  return field;
+}
+
+void validate_axes(const std::vector<SweepAxis>& axes) {
+  for (const auto& axis : axes) {
+    check(!axis.entries.empty(), "sweep axis with no entries");
+    const std::size_t n = axis.entries.front().values.size();
+    check(n > 0, "sweep axis entry '" + axis.entries.front().field + "' has no values");
+    for (const auto& entry : axis.entries) {
+      check(!entry.field.empty(), "sweep axis entry with empty field");
+      check(entry.values.size() == n,
+            "zipped sweep entries disagree on length: '" + entry.field + "' has " +
+                std::to_string(entry.values.size()) + " values, expected " +
+                std::to_string(n));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
+  validate_axes(spec.axes);
+
+  std::size_t total = 1;
+  for (const auto& axis : spec.axes) total *= axis.entries.front().values.size();
+
+  std::vector<SweepPoint> points;
+  points.reserve(total);
+  // Odometer over axis value indices, first axis slowest (row-major).
+  std::vector<std::size_t> idx(spec.axes.size(), 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    SweepPoint point;
+    point.scenario = spec.base;
+    std::string coord_label;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const SweepAxis& axis = spec.axes[a];
+      // Per-axis: each topology gets at most one label suffix (from the
+      // first entry of the axis that applies to it), so zipped entries don't
+      // stack redundant coordinates onto one label.
+      std::vector<bool> suffixed(point.scenario.topologies.size(), false);
+      for (const auto& entry : axis.entries) {
+        const double v = entry.values[idx[a]];
+        point.coords.emplace_back(entry.field, v);
+        if (entry.field.starts_with("topology.")) {
+          // Filters match the *base* specs: label suffixes added for earlier
+          // axes/entries must not hide a topology from later entries.
+          int matched = 0;
+          for (std::size_t t = 0; t < point.scenario.topologies.size(); ++t) {
+            if (!topology_matches(spec.base.topologies[t], entry.only)) continue;
+            auto& ts = point.scenario.topologies[t];
+            check(set_topology_field(ts, suffix_after(entry.field, "topology."), entry, v),
+                  "unknown sweep field '" + entry.field + "'");
+            if (!suffixed[t]) {
+              ts.label = ts.display() + "/" + short_field(entry.field) + "=" +
+                         json::number_to_string(v);
+              suffixed[t] = true;
+            }
+            ++matched;
+          }
+          check(matched > 0, "sweep field '" + entry.field + "': filter '" + entry.only +
+                                 "' matches no topology");
+        } else {
+          apply_sweep_value(point.scenario, entry, v);
+        }
+      }
+      const auto& first = axis.entries.front();
+      if (!coord_label.empty()) coord_label += ' ';
+      coord_label +=
+          short_field(first.field) + "=" + json::number_to_string(first.values[idx[a]]);
+    }
+    point.label = point.scenario.name;
+    if (!coord_label.empty()) point.label += " [" + coord_label + "]";
+    // Advance the odometer, last axis fastest.
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      if (++idx[a] < spec.axes[a].entries.front().values.size()) break;
+      idx[a] = 0;
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Table SweepReport::to_table() const {
+  Table table({"point", "topology", "routing", "metric", "mean", "stddev", "min", "max", "n"});
+  for (const auto& point : points) {
+    std::string coords;
+    for (const auto& [field, v] : point.coords) {
+      if (!coords.empty()) coords += ' ';
+      coords += short_field(field);
+      coords += '=';
+      coords += json::number_to_string(v);
+    }
+    // push_back, not = "-": gcc 12's -Wrestrict misfires on literal assign
+    // after the += loop above (GCC PR 105329).
+    if (coords.empty()) coords.push_back('-');
+    for (const auto& row : point.report.aggregates()) {
+      table.add_row({coords, row.topology, row.routing, row.metric,
+                     Table::fmt(row.summary.mean), Table::fmt(row.summary.stddev),
+                     Table::fmt(row.summary.min), Table::fmt(row.summary.max),
+                     Table::fmt(row.summary.count)});
+    }
+  }
+  return table;
+}
+
+SweepReport run_sweep(const SweepSpec& spec, const EngineOptions& opts,
+                      const SweepProgress& progress) {
+  auto points = expand_sweep(spec);
+  Engine engine(opts);
+  SweepReport out;
+  out.name = spec.base.name;
+  out.points.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    SweepPointResult result;
+    result.label = points[i].label;
+    result.coords = points[i].coords;
+    result.report = engine.run(points[i].scenario);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    out.points.push_back(std::move(result));
+    if (progress) {
+      progress(static_cast<int>(i) + 1, static_cast<int>(points.size()), out.points.back(),
+               seconds);
+    }
+  }
+  return out;
+}
+
+}  // namespace jf::eval

@@ -37,7 +37,22 @@ const std::map<std::string, TopologyFactory>& builtins() {
       {"fattree",
        [](const TopologySpec& spec, Rng&) {
          check(spec.fattree_k >= 2, "fattree topology: need fattree_k >= 2");
-         return topo::build_fattree(spec.fattree_k);
+         auto topo = topo::build_fattree(spec.fattree_k);
+         // Optional undersubscription: repack `servers` evenly across the
+         // edge layer (Fig. 2(a)'s server ramp). Oversubscription would
+         // violate the edge switches' port budgets — the fat-tree's design
+         // point k^3/4 is exactly its full-bisection capacity.
+         if (spec.servers > 0) {
+           const int designed = topo::fattree_servers(spec.fattree_k);
+           check(spec.servers <= designed,
+                 "fattree topology: servers exceeds the k^3/4 design capacity");
+           const int num_edge = topo::fattree_layers(spec.fattree_k).num_edge;
+           for (topo::NodeId sw = 0; sw < num_edge; ++sw) {
+             const int share = (spec.servers + num_edge - 1 - sw) / num_edge;
+             topo.set_servers_at(sw, share);
+           }
+         }
+         return topo;
        }},
       {"swdc-ring",
        [](const TopologySpec& spec, Rng& rng) {
@@ -68,8 +83,13 @@ const std::map<std::string, TopologyFactory>& builtins() {
   return b;
 }
 
-std::map<std::string, TopologyFactory>& registry() {
-  static std::map<std::string, TopologyFactory> r;
+struct RegisteredFamily {
+  TopologyFactory factory;
+  bool deterministic = false;
+};
+
+std::map<std::string, RegisteredFamily>& registry() {
+  static std::map<std::string, RegisteredFamily> r;
   return r;
 }
 
@@ -80,17 +100,28 @@ topo::Topology build_topology(const TopologySpec& spec, Rng& rng) {
     return it->second(spec, rng);
   }
   if (auto it = registry().find(spec.family); it != registry().end()) {
-    return it->second(spec, rng);
+    return it->second.factory(spec, rng);
   }
   check(false, "build_topology: unknown topology family");
   return {};
 }
 
-void register_topology_family(const std::string& family, TopologyFactory factory) {
+void register_topology_family(const std::string& family, TopologyFactory factory,
+                              bool deterministic) {
   check(!family.empty(), "register_topology_family: empty family name");
   check(builtins().find(family) == builtins().end(),
         "register_topology_family: cannot shadow a built-in family");
-  registry()[family] = std::move(factory);
+  registry()[family] = {std::move(factory), deterministic};
+}
+
+bool topology_family_deterministic(const std::string& family) {
+  // The only built-in whose construction is spec-determined; the randomized
+  // families (jellyfish, swdc-*, twolayer) draw their wiring from the Rng.
+  if (family == "fattree") return true;
+  if (auto it = registry().find(family); it != registry().end()) {
+    return it->second.deterministic;
+  }
+  return false;
 }
 
 std::vector<std::string> topology_families() {

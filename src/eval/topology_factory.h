@@ -28,7 +28,15 @@ topo::Topology build_topology(const TopologySpec& spec, Rng& rng);
 
 // Registers (or replaces) a family. Built-in names cannot be shadowed.
 // Not thread-safe against concurrent build_topology; register at startup.
-void register_topology_family(const std::string& family, TopologyFactory factory);
+// Pass deterministic = true when the factory ignores its Rng (the same spec
+// always yields the same topology); the engine then builds the topology and
+// its routing path caches once and shares them across seed cells.
+void register_topology_family(const std::string& family, TopologyFactory factory,
+                              bool deterministic = false);
+
+// True when the family's factory ignores its Rng (e.g. "fattree"), i.e. the
+// built topology depends only on the spec. Unknown families report false.
+bool topology_family_deterministic(const std::string& family);
 
 // Built-in + registered family names.
 std::vector<std::string> topology_families();

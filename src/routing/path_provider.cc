@@ -19,6 +19,10 @@ class CachedProvider : public PathProvider {
     return cache_.paths(s, t);
   }
 
+  // Once every pair is cached the unordered_map is only ever probed, never
+  // mutated, so concurrent lookups are safe.
+  bool concurrent_after_warm() const override { return true; }
+
  private:
   PathCache cache_;
 };
@@ -55,6 +59,8 @@ class EcmpProvider final : public CachedProvider {
                      int /*index*/) override {
     return route(s, t, flow_key);
   }
+
+  bool routes_via_paths() const override { return false; }
 
  private:
   const graph::Graph& g_;

@@ -60,6 +60,22 @@ class PathProvider {
   // over paths(), pinning subflow i to the i-th candidate (MPTCP over KSP).
   virtual Path route_subflow(graph::NodeId s, graph::NodeId t, std::uint64_t flow_key,
                              int index);
+
+  // True when, after paths() has been called once for every (s, t) pair
+  // that will subsequently be queried, all methods are safe to call
+  // concurrently from multiple threads on that pair set. The built-ins
+  // qualify (their lazily filled cache is only ever probed, never grown,
+  // for already-cached pairs); the eval engine uses this to share one
+  // warmed provider across seed cells of a deterministic topology.
+  // Conservative default: false.
+  virtual bool concurrent_after_warm() const { return false; }
+
+  // True when route()/route_subflow() consult paths() — the default
+  // implementations do. ECMP returns false (it routes by per-hop hashing on
+  // the graph, never reading the enumerated sets), which lets the eval
+  // engine skip warming a shared path cache that no packet-sim cell would
+  // ever read.
+  virtual bool routes_via_paths() const { return true; }
 };
 
 // Resolves a spec against the built-ins and the registry. Throws

@@ -1,0 +1,135 @@
+// common/json: parsing, strictness, serialization, and round-trip fidelity.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace jf::json {
+namespace {
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Value::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto v = Value::parse(R"({"a": [1, 2, {"b": null}], "c": {"d": "e"}})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_TRUE(a[2].find("b")->is_null());
+  EXPECT_EQ(v.find("c")->find("d")->as_string(), "e");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  auto v = Value::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+  EXPECT_EQ(v.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, StringEscapes) {
+  auto v = Value::parse(R"("a\"b\\c\nd\t\u0041\u00e9")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\tA\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Value::parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+  // Escaping round-trips through dump.
+  Value s(std::string("line\nwith \"quotes\" and \\ and \x01"));
+  EXPECT_EQ(Value::parse(s.dump()), s);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Value::parse(""), ParseError);
+  EXPECT_THROW(Value::parse("{"), ParseError);
+  EXPECT_THROW(Value::parse("[1,]"), ParseError);
+  EXPECT_THROW(Value::parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(Value::parse("nul"), ParseError);
+  EXPECT_THROW(Value::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Value::parse("1 2"), ParseError);       // trailing content
+  EXPECT_THROW(Value::parse("01"), ParseError);        // leading zero
+  EXPECT_THROW(Value::parse("{\"a\":1 \"b\":2}"), ParseError);
+  EXPECT_THROW(Value::parse("\"\\x\""), ParseError);   // bad escape
+  EXPECT_THROW(Value::parse("\"\\ud800\""), ParseError);  // unpaired surrogate
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(Value::parse(R"({"a": 1, "a": 2})"), ParseError);
+}
+
+TEST(Json, ParseErrorCarriesLineAndColumn) {
+  try {
+    Value::parse("{\n  \"a\": nope\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line, 2);
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(number_to_string(0.0), "0");
+  EXPECT_EQ(number_to_string(-0.0), "0");
+  EXPECT_EQ(number_to_string(42.0), "42");
+  EXPECT_EQ(number_to_string(-7.0), "-7");
+  EXPECT_EQ(number_to_string(1e9), "1000000000");
+  EXPECT_EQ(number_to_string(0.5), "0.5");
+  for (double v : {0.1, 1.0 / 3.0, 3.14159265358979, 1e-12, 6.02e23}) {
+    EXPECT_DOUBLE_EQ(Value::parse(number_to_string(v)).as_number(), v);
+  }
+}
+
+TEST(Json, DumpPrettyAndCompactReparseEqual) {
+  auto v = Value::parse(R"({"a": [1, 2.5, "x"], "b": {"c": true}, "d": []})");
+  EXPECT_EQ(Value::parse(v.dump()), v);
+  EXPECT_EQ(Value::parse(v.dump(2)), v);
+  // Pretty output is indented.
+  EXPECT_NE(v.dump(2).find("\n  \"a\""), std::string::npos);
+}
+
+TEST(Json, CheckedAccessorsNameTheKind) {
+  auto v = Value::parse("[1]");
+  try {
+    v.as_string();
+    FAIL() << "expected kind error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+  }
+  EXPECT_THROW(Value::parse("1.5").as_int(), std::runtime_error);
+  EXPECT_THROW(Value::parse("-1").as_uint(), std::runtime_error);
+  EXPECT_EQ(Value::parse("123").as_int(), 123);
+}
+
+TEST(Json, IntegerConstructorsRejectBeyondExactRange) {
+  // Values above 2^53 would silently round through double; constructing
+  // them must throw instead (mirroring as_int/as_uint on the read side).
+  EXPECT_THROW(Value(std::uint64_t{1} << 61), std::invalid_argument);
+  EXPECT_THROW(Value(std::int64_t{1} << 61), std::invalid_argument);
+  EXPECT_THROW(Value(-(std::int64_t{1} << 61)), std::invalid_argument);
+  EXPECT_EQ(Value(std::uint64_t{1} << 53).as_uint(), std::uint64_t{1} << 53);
+  EXPECT_EQ(Value(std::int64_t{-42}).as_int(), -42);
+}
+
+TEST(Json, SetBuildsObjects) {
+  Value v;
+  v.set("a", 1);
+  v.set("b", "x");
+  v.set("a", 2);  // replaces
+  EXPECT_EQ(v.dump(), R"({"a":2,"b":"x"})");
+}
+
+TEST(Json, DeepNestingGuard) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_THROW(Value::parse(deep), ParseError);
+}
+
+}  // namespace
+}  // namespace jf::json

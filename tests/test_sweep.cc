@@ -1,0 +1,228 @@
+// eval/sweep: axis expansion (cartesian, zipped, filtered), label
+// auto-suffixing, run_sweep determinism at any thread count, and the shared
+// PathCache fast path for deterministic topology families.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "eval/engine.h"
+#include "eval/serialize.h"
+#include "eval/sweep.h"
+#include "eval/topology_factory.h"
+
+namespace jf {
+namespace {
+
+eval::SweepSpec two_axis_spec() {
+  eval::SweepSpec spec;
+  spec.base.name = "grid";
+  spec.base.topologies = {
+      {.family = "jellyfish", .switches = 12, .ports = 5, .servers = 12}};
+  spec.base.routings = {{"ksp", 4}};
+  spec.base.metrics = {eval::Metric::kPathStats};
+  spec.base.seeds = {1, 2};
+  spec.axes = {
+      {{{"topology.servers", "", {12, 18, 24}}}},
+      {{{"routing.width", "", {2, 4}}}},
+  };
+  return spec;
+}
+
+TEST(Sweep, CartesianExpansionOrderAndCoords) {
+  const auto points = eval::expand_sweep(two_axis_spec());
+  ASSERT_EQ(points.size(), 6u);
+  // First axis slowest: (12,2), (12,4), (18,2), (18,4), (24,2), (24,4).
+  const double expected[][2] = {{12, 2}, {12, 4}, {18, 2}, {18, 4}, {24, 2}, {24, 4}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(points[i].coords.size(), 2u);
+    EXPECT_EQ(points[i].coords[0].first, "topology.servers");
+    EXPECT_EQ(points[i].coords[0].second, expected[i][0]);
+    EXPECT_EQ(points[i].coords[1].second, expected[i][1]);
+    EXPECT_EQ(points[i].scenario.topologies[0].servers, static_cast<int>(expected[i][0]));
+    EXPECT_EQ(points[i].scenario.routings[0].width, static_cast<int>(expected[i][1]));
+  }
+  EXPECT_EQ(points[2].label, "grid [servers=18 routing.width=2]");
+  // Expansion is deterministic: a second expansion is identical.
+  const auto again = eval::expand_sweep(two_axis_spec());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].label, again[i].label);
+    EXPECT_EQ(points[i].coords, again[i].coords);
+  }
+}
+
+TEST(Sweep, TopologyLabelsAutoSuffixed) {
+  const auto points = eval::expand_sweep(two_axis_spec());
+  EXPECT_EQ(points[0].scenario.topologies[0].display(), "jellyfish/servers=12");
+  EXPECT_EQ(points[4].scenario.topologies[0].display(), "jellyfish/servers=24");
+}
+
+TEST(Sweep, ZippedAxisAdvancesEntriesInLockstep) {
+  eval::SweepSpec spec;
+  spec.base.topologies = {{.family = "fattree", .label = "ft", .fattree_k = 4},
+                          {.family = "jellyfish", .label = "jf", .switches = 20,
+                           .ports = 4, .servers = 16}};
+  spec.base.metrics = {eval::Metric::kPathStats};
+  spec.axes = {{{
+      {"topology.fattree_k", "fattree", {4, 6}},
+      {"topology.switches", "jf", {20, 45}},
+  }}};
+  const auto points = eval::expand_sweep(spec);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[1].scenario.topologies[0].fattree_k, 6);
+  EXPECT_EQ(points[1].scenario.topologies[1].switches, 45);
+  // The filter leaves the other topology untouched.
+  EXPECT_EQ(points[1].scenario.topologies[0].switches, 0);
+  // Labels: one suffix per axis per topology, from the first applicable entry.
+  EXPECT_EQ(points[1].scenario.topologies[0].display(), "ft/fattree_k=6");
+  EXPECT_EQ(points[1].scenario.topologies[1].display(), "jf/switches=45");
+}
+
+TEST(Sweep, ApplyErrors) {
+  eval::Scenario s;
+  s.topologies = {{.family = "jellyfish", .switches = 8, .ports = 4, .servers = 8}};
+  // Unknown field.
+  EXPECT_THROW(eval::apply_sweep_value(s, {"topology.bogus", "", {}}, 1.0),
+               std::invalid_argument);
+  // Filter matching nothing.
+  EXPECT_THROW(eval::apply_sweep_value(s, {"topology.servers", "fattree", {}}, 16.0),
+               std::invalid_argument);
+  // Integer field given a fractional value.
+  EXPECT_THROW(eval::apply_sweep_value(s, {"topology.servers", "", {}}, 16.5),
+               std::invalid_argument);
+  // routing.width with no routings configured.
+  EXPECT_THROW(eval::apply_sweep_value(s, {"routing.width", "", {}}, 4.0),
+               std::invalid_argument);
+  // 'only' on a non-topology field.
+  EXPECT_THROW(eval::apply_sweep_value(s, {"traffic.demand", "jellyfish", {}}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Sweep, RunSweepByteIdenticalAcrossThreadCounts) {
+  const auto spec = two_axis_spec();
+  eval::SweepSpec small = spec;
+  small.base.metrics = {eval::Metric::kPathStats, eval::Metric::kRoutedThroughput};
+  const auto serial = eval::run_sweep(small, {.threads = 1});
+  const auto parallel = eval::run_sweep(small, {.threads = 4});
+  EXPECT_EQ(eval::sweep_report_to_json(serial).dump(2),
+            eval::sweep_report_to_json(parallel).dump(2));
+  ASSERT_EQ(serial.points.size(), 6u);
+  for (const auto& p : serial.points) EXPECT_FALSE(p.report.samples.empty());
+}
+
+TEST(Sweep, ProgressFiresOncePerPoint) {
+  const auto spec = two_axis_spec();
+  int calls = 0;
+  int last_done = 0;
+  eval::run_sweep(spec, {.threads = 2},
+                  [&](int done, int total, const eval::SweepPointResult& point, double) {
+                    ++calls;
+                    EXPECT_EQ(done, calls);
+                    EXPECT_EQ(total, 6);
+                    EXPECT_FALSE(point.label.empty());
+                    last_done = done;
+                  });
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(last_done, 6);
+}
+
+// The shared-PathCache fast path (deterministic families build topology +
+// warmed provider once per routing and share across seed cells) must be
+// invisible in the results.
+TEST(Sweep, SharedPathCacheMatchesPerCellBuilds) {
+  eval::Scenario s;
+  s.name = "shared-cache";
+  s.topologies = {{.family = "fattree", .fattree_k = 4},
+                  {.family = "jellyfish", .switches = 20, .ports = 4, .servers = 16}};
+  s.routings = {{"ecmp", 4}, {"ksp", 4}};
+  s.metrics = {eval::Metric::kPathStats, eval::Metric::kRoutedThroughput,
+               eval::Metric::kLinkDiversity};
+  s.seeds = {1, 2, 3, 4};
+
+  const auto with_sharing = eval::Engine({.threads = 4, .share_path_cache = true}).run(s);
+  const auto without_sharing =
+      eval::Engine({.threads = 4, .share_path_cache = false}).run(s);
+  EXPECT_EQ(eval::report_to_json(with_sharing).dump(),
+            eval::report_to_json(without_sharing).dump());
+}
+
+TEST(Sweep, DuplicateTopologyLabelsDisambiguated) {
+  eval::Scenario s;
+  s.topologies = {{.family = "jellyfish", .switches = 8, .ports = 4, .servers = 8},
+                  {.family = "jellyfish", .switches = 10, .ports = 4, .servers = 10}};
+  s.metrics = {eval::Metric::kPathStats};
+  s.seeds = {1};
+  const auto report = eval::Engine({.threads = 1}).run(s);
+  ASSERT_EQ(report.topology_labels.size(), 2u);
+  EXPECT_EQ(report.topology_labels[0], "jellyfish");
+  EXPECT_EQ(report.topology_labels[1], "jellyfish#2");
+
+  // A generated suffix must not collide with an explicit user label.
+  s.topologies.push_back(
+      {.family = "jellyfish", .label = "jellyfish#2", .switches = 8, .ports = 4,
+       .servers = 8});
+  const auto report2 = eval::Engine({.threads = 1}).run(s);
+  ASSERT_EQ(report2.topology_labels.size(), 3u);
+  EXPECT_EQ(report2.topology_labels[0], "jellyfish");
+  EXPECT_EQ(report2.topology_labels[1], "jellyfish#3");
+  EXPECT_EQ(report2.topology_labels[2], "jellyfish#2");
+}
+
+TEST(Sweep, SpecOnlyMetricsSkipTopologyBuild) {
+  // switches = 0 would make build_topology throw; kMinPorts never builds.
+  // 3000 servers fit the k = 24 fat-tree (3456 max), so both rows are
+  // feasible and comparable.
+  eval::Scenario s;
+  s.topologies = {{.family = "jellyfish", .ports = 24, .servers = 3000},
+                  {.family = "fattree", .servers = 3000, .fattree_k = 24}};
+  s.metrics = {eval::Metric::kMinPorts};
+  s.seeds = {1};
+  const auto report = eval::Engine({.threads = 1}).run(s);
+  ASSERT_EQ(report.samples.size(), 2u);
+  EXPECT_EQ(report.samples[0].metric, "min_ports");
+  EXPECT_GT(report.samples[0].value, 0.0);
+  EXPECT_GT(report.samples[1].value, 0.0);
+  // Paper shape: jellyfish needs fewer ports than the fat-tree at equal k.
+  EXPECT_LT(report.samples[0].value, report.samples[1].value);
+}
+
+TEST(Sweep, FattreeServersOverrideRepacksEdgeLayer) {
+  // Fig. 2(a)'s fat-tree server ramp: undersubscribe the edge layer evenly.
+  eval::TopologySpec spec{.family = "fattree", .servers = 10, .fattree_k = 4};
+  Rng rng(1);
+  auto topo = eval::build_topology(spec, rng);
+  EXPECT_EQ(topo.num_servers(), 10);
+  topo.validate();
+  // Beyond the k^3/4 design capacity the edge layer runs out of ports.
+  spec.servers = 17;
+  EXPECT_THROW(eval::build_topology(spec, rng), std::invalid_argument);
+}
+
+// ECMP routes by hashing on the graph and never reads the path cache, so a
+// packet-sim-only scenario must skip its warm yet still produce identical
+// results; KSP packet sim does read the cache through route().
+TEST(Sweep, PacketSimOnlySharingMatchesPerCellBuilds) {
+  eval::Scenario s;
+  s.name = "sim-share";
+  s.topologies = {{.family = "fattree", .fattree_k = 4}};
+  s.routings = {{"ecmp", 4}, {"ksp", 2}};
+  s.metrics = {eval::Metric::kPacketSim};
+  s.seeds = {1, 2};
+  const auto with_sharing = eval::Engine({.threads = 2, .share_path_cache = true}).run(s);
+  const auto without_sharing =
+      eval::Engine({.threads = 2, .share_path_cache = false}).run(s);
+  EXPECT_EQ(eval::report_to_json(with_sharing).dump(),
+            eval::report_to_json(without_sharing).dump());
+  EXPECT_FALSE(with_sharing.samples.empty());
+}
+
+TEST(Sweep, SweepReportTableHasPointColumn) {
+  const auto report = eval::run_sweep(two_axis_spec(), {.threads = 2});
+  std::ostringstream os;
+  report.to_table().print(os);
+  EXPECT_NE(os.str().find("point"), std::string::npos);
+  EXPECT_NE(os.str().find("servers=24"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jf
