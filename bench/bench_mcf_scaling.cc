@@ -1,0 +1,146 @@
+// MCF within-solve scaling benchmark — the perf trajectory for the parallel
+// Garg-Könemann solver.
+//
+// Solves one large single-point MCF instance (the shape that dominates
+// fig02c-style capacity searches and that cell-level parallelism cannot
+// touch) at several worker-budget sizes, verifies the results are
+// bit-identical, and emits BENCH_mcf.json with per-thread wall times and
+// speedups. Run from the repo root:
+//
+//   ./build/bench_mcf_scaling [--switches N] [--degree R] [--repeats K]
+//                             [--out BENCH_mcf.json]
+//
+// Speedup is only as real as the machine: hardware_concurrency is recorded
+// alongside the numbers so a 1-core CI box reporting ~1x is distinguishable
+// from a genuine scaling regression on a wide machine.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "flow/mcf.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace {
+
+using namespace jf;
+
+double solve_seconds(const graph::Graph& g, const std::vector<traffic::Commodity>& cs,
+                     const flow::McfOptions& opts, int threads, flow::McfResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    out = flow::max_concurrent_flow(g, cs, opts);
+  } else {
+    parallel::WorkBudget budget(threads - 1);
+    out = flow::max_concurrent_flow(g, cs, opts, &budget);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int switches = 200;
+  int degree = 12;
+  int repeats = 3;
+  std::string out_path = "BENCH_mcf.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_mcf_scaling: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--switches") {
+      switches = std::atoi(value());
+    } else if (arg == "--degree") {
+      degree = std::atoi(value());
+    } else if (arg == "--repeats") {
+      repeats = std::atoi(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::cerr << "usage: bench_mcf_scaling [--switches N] [--degree R] [--repeats K]"
+                   " [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  try {
+    Rng rng(1);
+    auto topo = topo::build_jellyfish({.num_switches = switches,
+                                       .ports_per_switch = degree + 4,
+                                       .network_degree = degree},
+                                      rng);
+    auto tm = traffic::random_permutation(topo.num_servers(), rng);
+    auto cs = traffic::to_switch_commodities(topo, tm);
+    flow::McfOptions opts;
+
+    std::cerr << "instance: " << switches << " switches, degree " << degree << ", "
+              << cs.size() << " commodities, " << topo.switches().num_edges()
+              << " edges\n";
+
+    json::Object root;
+    root.emplace_back("benchmark", std::string("mcf_scaling"));
+    root.emplace_back("switches", switches);
+    root.emplace_back("network_degree", degree);
+    root.emplace_back("commodities", static_cast<double>(cs.size()));
+    root.emplace_back("repeats", repeats);
+    root.emplace_back("hardware_concurrency", parallel::resolve_threads(0));
+
+    flow::McfResult reference;
+    double serial_best = 0.0;
+    json::Array solves;
+    for (int threads : {1, 2, 4, 8}) {
+      flow::McfResult res;
+      double best = std::numeric_limits<double>::infinity();
+      for (int k = 0; k < std::max(1, repeats); ++k) {
+        best = std::min(best, solve_seconds(topo.switches(), cs, opts, threads, res));
+      }
+      if (threads == 1) {
+        reference = res;
+        serial_best = best;
+      } else if (res.lambda != reference.lambda ||
+                 res.lambda_upper != reference.lambda_upper ||
+                 res.phases != reference.phases) {
+        std::cerr << "bench_mcf_scaling: results diverged at " << threads
+                  << " threads — determinism bug\n";
+        return 1;
+      }
+      const double speedup = best > 0 ? serial_best / best : 0.0;
+      std::cerr << "threads " << threads << ": " << best << " s  (speedup " << speedup
+                << "x, lambda " << res.lambda << ", " << res.phases << " phases)\n";
+      json::Object solve;
+      solve.emplace_back("threads", threads);
+      solve.emplace_back("best_seconds", best);
+      solve.emplace_back("speedup_vs_serial", speedup);
+      solve.emplace_back("lambda", res.lambda);
+      solve.emplace_back("lambda_upper", res.lambda_upper);
+      solve.emplace_back("phases", res.phases);
+      solves.emplace_back(json::Value(std::move(solve)));
+    }
+    root.emplace_back("solves", json::Value(std::move(solves)));
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "bench_mcf_scaling: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << json::Value(std::move(root)).dump(2) << "\n";
+    std::cerr << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_mcf_scaling: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -3,6 +3,9 @@
 // max-flow, Garg-Könemann MCF, and the packet simulator's event throughput.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "flow/mcf.h"
 #include "flow/throughput.h"
@@ -86,6 +89,33 @@ void BM_GargKonemannMcf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GargKonemannMcf)->Arg(40)->Arg(120)->Unit(benchmark::kMillisecond);
+
+// Within-solve scaling: one large fixed MCF instance, worker budget on the
+// x-axis. Results are bit-identical at every budget (see test_mcf_parallel);
+// this curve tracks the wall-clock payoff. bench_mcf_scaling emits the same
+// measurement as BENCH_mcf.json for the recorded perf trajectory.
+void BM_GargKonemannMcfParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  jf::Rng rng(6);
+  auto topo = jf::topo::build_jellyfish(
+      {.num_switches = 160, .ports_per_switch = 16, .network_degree = 10}, rng);
+  auto tm = jf::traffic::random_permutation(topo.num_servers(), rng);
+  auto cs = jf::traffic::to_switch_commodities(topo, tm);
+  for (auto _ : state) {
+    jf::parallel::WorkBudget budget(threads - 1);
+    auto res = jf::flow::max_concurrent_flow(topo.switches(), cs, {}, &budget);
+    benchmark::DoNotOptimize(res.lambda);
+  }
+  state.SetLabel("160 switches, budget " + std::to_string(threads));
+}
+BENCHMARK(BM_GargKonemannMcfParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_PacketSim(benchmark::State& state) {
   jf::Rng rng(7);

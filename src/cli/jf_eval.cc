@@ -36,7 +36,9 @@ int usage(std::ostream& os, int code) {
         "  run <scenario.json> [--threads N] [--out FILE] [--format table|csv|json]\n"
         "                      [--quiet]\n"
         "      Execute the scenario (or sweep) and render the report.\n"
-        "      --threads N   engine worker threads (0 = hardware concurrency)\n"
+        "      --threads N   global worker budget shared by concurrent cells and\n"
+        "                    within-cell solvers (0 = hardware concurrency);\n"
+        "                    reports are byte-identical at any value\n"
         "      --out FILE    write the report to FILE (default format: json)\n"
         "      --format F    report rendering; default json with --out, else table\n"
         "      --quiet       suppress per-point progress lines on stderr\n"

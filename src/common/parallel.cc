@@ -1,0 +1,172 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jf::parallel {
+
+int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+WorkBudget::WorkBudget(int extra_workers) : available_(std::max(0, extra_workers)) {}
+
+int WorkBudget::try_acquire(int want) {
+  if (want <= 0) return 0;
+  int cur = available_.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    const int take = std::min(cur, want);
+    if (available_.compare_exchange_weak(cur, cur - take, std::memory_order_relaxed)) {
+      return take;
+    }
+  }
+  return 0;
+}
+
+void WorkBudget::release(int granted) {
+  check(granted >= 0, "WorkBudget::release: negative grant");
+  if (granted > 0) available_.fetch_add(granted, std::memory_order_relaxed);
+}
+
+WorkerTeam::WorkerTeam(WorkBudget* budget, int max_extra) : budget_(budget) {
+  if (budget_ != nullptr && max_extra > 0) extra_ = budget_->try_acquire(max_extra);
+  workers_.reserve(static_cast<std::size_t>(extra_));
+  for (int slot = 1; slot <= extra_; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  if (budget_ != nullptr) budget_->release(extra_);
+}
+
+void WorkerTeam::run(int n, const std::function<void(int, int)>& fn) {
+  check(n >= 0, "WorkerTeam::run: negative range");
+  if (n == 0) return;
+  if (extra_ == 0) {
+    // Serial fast path: no synchronization, exceptions propagate directly.
+    for (int i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    done_.store(0, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    in_round_ = extra_;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  work(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for the indices *and* for every worker to check out of the round —
+  // only then may the next run() (or the destructor) touch the round state.
+  done_cv_.wait(lock, [&] {
+    return done_.load(std::memory_order_acquire) == n && in_round_ == 0;
+  });
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerTeam::worker_loop(int slot) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work(slot);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_round_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerTeam::work(int slot) {
+  // fn_/n_ are stable for the whole round: the check-in/check-out protocol
+  // guarantees no thread reaches here while run() rewrites them.
+  const int n = n_;
+  const auto& fn = *fn_;
+  while (true) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    std::exception_ptr err;
+    try {
+      fn(i, slot);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = err;
+    }
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lock(mu_);  // pair with run()'s wait predicate
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
+  check(n >= 0, "parallel_for: negative range");
+  if (n == 0) return;
+  threads = std::min(resolve_threads(threads), n);
+  if (threads == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  WorkBudget budget(threads - 1);
+  parallel_for(n, &budget, fn);
+}
+
+void parallel_for(int n, WorkBudget* budget, const std::function<void(int)>& fn) {
+  check(n >= 0, "parallel_for: negative range");
+  if (n == 0) return;
+  const int extra = budget != nullptr ? budget->try_acquire(n - 1) : 0;
+  if (extra == 0) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  // Borrowed workers hand their slot back the moment they run out of
+  // indices — a straggler index can then borrow them through the same
+  // budget for its own nested parallelism.
+  auto work = [&](bool borrowed) {
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (borrowed) budget->release(1);
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(extra));
+  for (int w = 0; w < extra; ++w) workers.emplace_back(work, true);
+  work(false);
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace jf::parallel

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 
 #include "common/check.h"
-#include "eval/thread_pool.h"
+#include "common/parallel.h"
 #include "eval/topology_factory.h"
 #include "expansion/cost_model.h"
 #include "flow/bisection.h"
@@ -39,9 +40,10 @@ Rng traffic_rng(std::uint64_t seed, int topo_idx, int k) {
 }
 
 double fluid_throughput(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
-                        const flow::McfOptions& mcf) {
+                        const flow::McfOptions& mcf, parallel::WorkBudget* budget) {
   auto commodities = traffic::to_switch_commodities(topo, tm);
-  return std::min(1.0, flow::max_concurrent_flow(topo.switches(), commodities, mcf).lambda);
+  return std::min(
+      1.0, flow::max_concurrent_flow(topo.switches(), commodities, mcf, budget).lambda);
 }
 
 double routed_fluid_throughput(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
@@ -69,7 +71,8 @@ struct SharedTopology {
 };
 
 void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
-                      const std::function<void(const std::string&, int, double)>& emit) {
+                      const std::function<void(const std::string&, int, double)>& emit,
+                      parallel::WorkBudget* budget) {
   const TopologySpec& spec = s.topologies[static_cast<std::size_t>(cell.topo)];
   switch (m) {
     case Metric::kMinPorts: {
@@ -100,7 +103,7 @@ void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
                                      static_cast<std::uint64_t>(cell.topo));
         emit("max_servers", 0,
              static_cast<double>(flow::max_servers_at_full_capacity(
-                 spec.switches, spec.ports, cr, s.capacity)));
+                 spec.switches, spec.ports, cr, s.capacity, budget)));
       } else {
         check(false, "kCapacity: only jellyfish and fattree families are supported");
       }
@@ -112,7 +115,7 @@ void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
 }
 
 std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
-                             const SharedTopology& shared) {
+                             const SharedTopology& shared, parallel::WorkBudget* budget) {
   std::vector<Sample> out;
   auto emit = [&](const std::string& metric, int sample, double v) {
     out.push_back({cell.topo, cell.routing, cell.seed, sample, metric, v});
@@ -136,7 +139,7 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
     for (Metric m : s.metrics) {
       if (metric_needs_routing(m)) continue;
       if (!metric_needs_build(m)) {
-        emit_spec_metric(s, cell, m, emit);
+        emit_spec_metric(s, cell, m, emit, budget);
         continue;
       }
       const topo::Topology& topo = topology();
@@ -162,7 +165,7 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
           for (int k = 0; k < s.samples_per_seed; ++k) {
             Rng tr = traffic_rng(cell.seed, cell.topo, k);
             auto tm = s.traffic.sample(topo.num_servers(), tr);
-            emit("throughput", k, fluid_throughput(topo, tm, s.mcf));
+            emit("throughput", k, fluid_throughput(topo, tm, s.mcf, budget));
           }
           break;
         }
@@ -266,25 +269,42 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
   return out;
 }
 
-}  // namespace
+// Per-scenario state for one batch entry: canonical cells, shared read-only
+// resources, and per-cell result slots.
+struct PreparedScenario {
+  const Scenario* s = nullptr;
+  std::vector<Cell> cells;
+  std::vector<SharedTopology> shared;
+  // Switch pairs each shared provider must be warmed with (indexed by
+  // topology); alive until warming finished.
+  std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> query_pairs;
+  std::vector<std::pair<int, int>> warm_jobs;  // (topology, routing)
+  std::vector<std::vector<Sample>> results;
+  int cells_left = 0;   // guarded by the batch completion mutex
+  bool done = false;    // report assembled + ready to emit
+};
 
-Report Engine::run(const Scenario& s) const {
+void validate_scenario(const Scenario& s) {
   check(!s.topologies.empty(), "Engine::run: scenario needs >= 1 topology");
   check(!s.seeds.empty(), "Engine::run: scenario needs >= 1 seed");
   check(s.samples_per_seed >= 1, "Engine::run: samples_per_seed must be >= 1");
   check(!s.metrics.empty(), "Engine::run: scenario needs >= 1 metric");
+  const bool has_routing_metrics =
+      std::any_of(s.metrics.begin(), s.metrics.end(),
+                  [](Metric m) { return metric_needs_routing(m); });
+  check(!has_routing_metrics || !s.routings.empty(),
+        "Engine::run: routing-dependent metrics need >= 1 routing spec");
+}
 
+// Canonical cell order: per topology, the routing-free cell block first,
+// then one block per routing scheme; seeds vary fastest.
+std::vector<Cell> build_cells(const Scenario& s) {
   const bool has_topo_metrics =
       std::any_of(s.metrics.begin(), s.metrics.end(),
                   [](Metric m) { return !metric_needs_routing(m); });
   const bool has_routing_metrics =
       std::any_of(s.metrics.begin(), s.metrics.end(),
                   [](Metric m) { return metric_needs_routing(m); });
-  check(!has_routing_metrics || !s.routings.empty(),
-        "Engine::run: routing-dependent metrics need >= 1 routing spec");
-
-  // Canonical cell order: per topology, the routing-free cell block first,
-  // then one block per routing scheme; seeds vary fastest.
   std::vector<Cell> cells;
   for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
     if (has_topo_metrics) {
@@ -296,16 +316,26 @@ Report Engine::run(const Scenario& s) const {
       }
     }
   }
+  return cells;
+}
 
+// Deterministic families (fattree): build the topology once and — when the
+// provider supports read-only concurrent use after a full warm — enumerate
+// each routing scheme's paths once, instead of per seed. Fills
+// shared/query_pairs/warm_jobs; the (parallelizable) warming itself is the
+// caller's job so a batch can interleave warm jobs across scenarios.
+void prepare_shared(PreparedScenario& p, bool share_path_cache) {
+  const Scenario& s = *p.s;
+  p.shared.resize(s.topologies.size());
+  p.query_pairs.resize(s.topologies.size());
   const bool any_build =
       std::any_of(s.metrics.begin(), s.metrics.end(),
                   [](Metric m) { return metric_needs_build(m); });
+  if (!share_path_cache || s.seeds.size() <= 1 || !any_build) return;
 
-  // Deterministic families (fattree): build the topology once and — when the
-  // provider supports read-only concurrent use after a full warm — enumerate
-  // each routing scheme's paths once, instead of per seed. Warming runs in
-  // parallel across (topology, routing) and is skipped entirely with a
-  // single seed (nothing to share).
+  const bool has_routing_metrics =
+      std::any_of(s.metrics.begin(), s.metrics.end(),
+                  [](Metric m) { return metric_needs_routing(m); });
   const bool wants_path_metrics =
       std::any_of(s.metrics.begin(), s.metrics.end(), [](Metric m) {
         return m == Metric::kRoutedThroughput || m == Metric::kLinkDiversity;
@@ -313,90 +343,71 @@ Report Engine::run(const Scenario& s) const {
   const bool wants_sim = std::any_of(s.metrics.begin(), s.metrics.end(),
                                      [](Metric m) { return m == Metric::kPacketSim; });
 
-  std::vector<SharedTopology> shared(s.topologies.size());
-  if (opts_.share_path_cache && s.seeds.size() > 1 && any_build) {
-    for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
-      const auto& spec = s.topologies[static_cast<std::size_t>(t)];
-      if (!topology_family_deterministic(spec.family)) continue;
-      // The factory ignores its Rng for deterministic families, so any seed
-      // yields the per-cell build.
-      Rng rng = Rng(s.seeds.front()).fork(kTopoStream + static_cast<std::uint64_t>(t));
-      auto& st = shared[static_cast<std::size_t>(t)];
-      st.topology.emplace(build_topology(spec, rng));
-      if (!has_routing_metrics) continue;
-      // Construction is cheap (caches fill lazily); keep only providers
-      // whose cache some requested metric will actually read —
-      // routed-throughput/diversity always read paths(), packet sim only
-      // through providers that route via enumerated paths (KSP, not ECMP).
-      st.providers.resize(s.routings.size());
-      for (int r = 0; r < static_cast<int>(s.routings.size()); ++r) {
-        auto provider = routing::make_path_provider(
-            st.topology->switches(), s.routings[static_cast<std::size_t>(r)]);
-        if (!provider->concurrent_after_warm()) continue;
-        if (!wants_path_metrics && !(wants_sim && provider->routes_via_paths())) continue;
-        st.providers[static_cast<std::size_t>(r)] = std::move(provider);
-      }
+  for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+    const auto& spec = s.topologies[static_cast<std::size_t>(t)];
+    if (!topology_family_deterministic(spec.family)) continue;
+    // The factory ignores its Rng for deterministic families, so any seed
+    // yields the per-cell build.
+    Rng rng = Rng(s.seeds.front()).fork(kTopoStream + static_cast<std::uint64_t>(t));
+    auto& st = p.shared[static_cast<std::size_t>(t)];
+    st.topology.emplace(build_topology(spec, rng));
+    if (!has_routing_metrics) continue;
+    // Construction is cheap (caches fill lazily); keep only providers
+    // whose cache some requested metric will actually read —
+    // routed-throughput/diversity always read paths(), packet sim only
+    // through providers that route via enumerated paths (KSP, not ECMP).
+    st.providers.resize(s.routings.size());
+    for (int r = 0; r < static_cast<int>(s.routings.size()); ++r) {
+      auto provider = routing::make_path_provider(
+          st.topology->switches(), s.routings[static_cast<std::size_t>(r)]);
+      if (!provider->concurrent_after_warm()) continue;
+      if (!wants_path_metrics && !(wants_sim && provider->routes_via_paths())) continue;
+      st.providers[static_cast<std::size_t>(r)] = std::move(provider);
     }
-    // The exact switch pairs this scenario's cells will query: every path
-    // consumer (restricted MCF commodities, diversity accounting, packet-sim
-    // routing) derives its endpoints from the deterministic per-(seed,
-    // sample) traffic matrices, so warming their union makes the shared
-    // cache read-only afterwards. Warming this union — rather than all n^2
-    // pairs — bounds the warm cost by what unshared cells would have
-    // computed anyway, while pairs repeated across seeds/samples (always,
-    // for all-to-all and hotspot traffic) are enumerated once. A metric
-    // that queried paths outside the traffic-derived pair set would need to
-    // extend this collection before sharing could stay safe.
-    std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> query_pairs(
-        s.topologies.size());
-    for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
-      auto& st = shared[static_cast<std::size_t>(t)];
-      const bool any_provider =
-          std::any_of(st.providers.begin(), st.providers.end(),
-                      [](const auto& p) { return p != nullptr; });
-      if (!any_provider) continue;
-      std::set<std::uint64_t> seen;
-      for (std::uint64_t seed : s.seeds) {
-        for (int k = 0; k < s.samples_per_seed; ++k) {
-          Rng tr = traffic_rng(seed, t, k);
-          auto tm = s.traffic.sample(st.topology->num_servers(), tr);
-          for (const auto& f : tm.flows) {
-            const graph::NodeId a = st.topology->server_switch(f.src_server);
-            const graph::NodeId b = st.topology->server_switch(f.dst_server);
-            const std::uint64_t key =
-                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
-                static_cast<std::uint32_t>(b);
-            if (seen.insert(key).second) {
-              query_pairs[static_cast<std::size_t>(t)].emplace_back(a, b);
-            }
+  }
+  // The exact switch pairs this scenario's cells will query: every path
+  // consumer (restricted MCF commodities, diversity accounting, packet-sim
+  // routing) derives its endpoints from the deterministic per-(seed,
+  // sample) traffic matrices, so warming their union makes the shared
+  // cache read-only afterwards. Warming this union — rather than all n^2
+  // pairs — bounds the warm cost by what unshared cells would have
+  // computed anyway, while pairs repeated across seeds/samples (always,
+  // for all-to-all and hotspot traffic) are enumerated once. A metric
+  // that queried paths outside the traffic-derived pair set would need to
+  // extend this collection before sharing could stay safe.
+  for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+    auto& st = p.shared[static_cast<std::size_t>(t)];
+    const bool any_provider =
+        std::any_of(st.providers.begin(), st.providers.end(),
+                    [](const auto& pr) { return pr != nullptr; });
+    if (!any_provider) continue;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t seed : s.seeds) {
+      for (int k = 0; k < s.samples_per_seed; ++k) {
+        Rng tr = traffic_rng(seed, t, k);
+        auto tm = s.traffic.sample(st.topology->num_servers(), tr);
+        for (const auto& f : tm.flows) {
+          const graph::NodeId a = st.topology->server_switch(f.src_server);
+          const graph::NodeId b = st.topology->server_switch(f.dst_server);
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+              static_cast<std::uint32_t>(b);
+          if (seen.insert(key).second) {
+            p.query_pairs[static_cast<std::size_t>(t)].emplace_back(a, b);
           }
         }
       }
     }
-    std::vector<std::pair<int, int>> warm_jobs;  // (topology, routing)
-    for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
-      const auto& st = shared[static_cast<std::size_t>(t)];
-      for (int r = 0; r < static_cast<int>(st.providers.size()); ++r) {
-        if (st.providers[static_cast<std::size_t>(r)]) warm_jobs.emplace_back(t, r);
-      }
-    }
-    parallel_for(static_cast<int>(warm_jobs.size()), opts_.threads, [&](int i) {
-      const auto [t, r] = warm_jobs[static_cast<std::size_t>(i)];
-      auto& st = shared[static_cast<std::size_t>(t)];
-      auto& provider = *st.providers[static_cast<std::size_t>(r)];
-      for (const auto& [a, b] : query_pairs[static_cast<std::size_t>(t)]) {
-        provider.paths(a, b);
-      }
-    });
   }
+  for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
+    const auto& st = p.shared[static_cast<std::size_t>(t)];
+    for (int r = 0; r < static_cast<int>(st.providers.size()); ++r) {
+      if (st.providers[static_cast<std::size_t>(r)]) p.warm_jobs.emplace_back(t, r);
+    }
+  }
+}
 
-  std::vector<std::vector<Sample>> results(cells.size());
-  parallel_for(static_cast<int>(cells.size()), opts_.threads, [&](int i) {
-    const Cell& cell = cells[static_cast<std::size_t>(i)];
-    results[static_cast<std::size_t>(i)] =
-        run_cell(s, cell, shared[static_cast<std::size_t>(cell.topo)]);
-  });
-
+Report assemble_report(const Scenario& s, std::vector<std::vector<Sample>>& results) {
   Report report;
   report.scenario = s.name;
   // Duplicate display labels (e.g. the same family listed twice without
@@ -423,6 +434,93 @@ Report Engine::run(const Scenario& s) const {
     for (auto& sample : cell_samples) report.samples.push_back(std::move(sample));
   }
   return report;
+}
+
+}  // namespace
+
+Report Engine::run(const Scenario& s) const {
+  return std::move(run_batch({&s, 1}).front());
+}
+
+std::vector<Report> Engine::run_batch(
+    std::span<const Scenario> scenarios,
+    const std::function<void(std::size_t, Report&)>& on_done) const {
+  // Validate everything up front so a malformed later scenario cannot abort
+  // a batch that already spent hours on earlier ones.
+  for (const Scenario& s : scenarios) validate_scenario(s);
+
+  std::vector<PreparedScenario> runs(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    auto& p = runs[i];
+    p.s = &scenarios[i];
+    p.cells = build_cells(*p.s);
+    p.results.resize(p.cells.size());
+    p.cells_left = static_cast<int>(p.cells.size());
+    prepare_shared(p, opts_.share_path_cache);
+  }
+
+  // One budget for the whole batch: the calling thread is free, so a global
+  // --threads of T leaves T - 1 borrowable slots. Cell-level workers hold a
+  // slot each while they run; a cell's MCF solves borrow whatever is left.
+  parallel::WorkBudget budget(parallel::resolve_threads(opts_.threads) - 1);
+
+  // Phase 1 — warm shared providers, interleaved across scenarios.
+  struct WarmRef {
+    std::size_t run;
+    int t, r;
+  };
+  std::vector<WarmRef> warm;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (const auto& [t, r] : runs[i].warm_jobs) warm.push_back({i, t, r});
+  }
+  parallel::parallel_for(static_cast<int>(warm.size()), &budget, [&](int i) {
+    const WarmRef& w = warm[static_cast<std::size_t>(i)];
+    auto& st = runs[w.run].shared[static_cast<std::size_t>(w.t)];
+    auto& provider = *st.providers[static_cast<std::size_t>(w.r)];
+    for (const auto& [a, b] : runs[w.run].query_pairs[static_cast<std::size_t>(w.t)]) {
+      provider.paths(a, b);
+    }
+  });
+
+  // Phase 2 — every cell of every scenario on one dynamic queue. The queue
+  // order (scenario-major) only biases which work starts first; results land
+  // in per-cell slots, so assembly is order-blind. Completed scenarios are
+  // assembled immediately and emitted strictly in index order.
+  struct CellRef {
+    std::size_t run;
+    int cell;
+  };
+  std::vector<CellRef> queue;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) queue.push_back({i, c});
+  }
+
+  std::vector<Report> reports(scenarios.size());
+  std::mutex done_mu;  // guards cells_left/done/next_emit and serializes on_done
+  std::size_t next_emit = 0;
+  parallel::parallel_for(static_cast<int>(queue.size()), &budget, [&](int i) {
+    const CellRef ref = queue[static_cast<std::size_t>(i)];
+    auto& p = runs[ref.run];
+    const Cell& cell = p.cells[static_cast<std::size_t>(ref.cell)];
+    p.results[static_cast<std::size_t>(ref.cell)] =
+        run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+
+    std::unique_lock<std::mutex> lock(done_mu);
+    if (--p.cells_left > 0) return;
+    // Assemble outside the lock: only the scenario's last cell reaches this
+    // point, so the assembly itself is single-threaded, and other workers
+    // should not queue behind an O(samples) merge just to decrement their
+    // counters.
+    lock.unlock();
+    reports[ref.run] = assemble_report(*p.s, p.results);
+    lock.lock();
+    p.done = true;
+    while (next_emit < runs.size() && runs[next_emit].done) {
+      if (on_done) on_done(next_emit, reports[next_emit]);
+      ++next_emit;
+    }
+  });
+  return reports;
 }
 
 graph::PathLengthStats Engine::path_stats(const topo::Topology& t) {

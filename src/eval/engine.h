@@ -8,11 +8,21 @@
 // matrices are shared across routing schemes of the same (topology, seed)
 // for paired comparisons.
 //
+// Threading model: EngineOptions::threads is a *global budget* shared by two
+// levels. Cells from every scenario in a batch feed one dynamic queue, and
+// any worker a cell does not occupy can be borrowed by the cell itself for
+// within-cell parallelism (the MCF solver's Dijkstra sweeps), so both a
+// sweep of many small points and one giant solve saturate the same budget.
+// Neither level affects results: cell RNG streams are index-derived and the
+// solver's round schedule is worker-count independent.
+//
 // The static measurement kernels are the single implementation behind both
 // scenario cells and the core::JellyfishNetwork facade.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <span>
 
 #include "eval/report.h"
 #include "eval/scenario.h"
@@ -23,7 +33,10 @@
 namespace jf::eval {
 
 struct EngineOptions {
-  int threads = 0;  // worker threads; <= 0 selects hardware concurrency
+  // Global worker budget: concurrent cells plus the extra threads cells
+  // borrow for within-cell solves never exceed this. <= 0 selects hardware
+  // concurrency.
+  int threads = 0;
   // For deterministic topology families (fattree, or families registered as
   // deterministic), build the topology once and warm one PathProvider per
   // routing scheme with the union of switch pairs the scenario's traffic
@@ -40,6 +53,22 @@ class Engine {
 
   // Executes the scenario; cells run in parallel, results are deterministic.
   Report run(const Scenario& s) const;
+
+  // Executes several scenarios as one interleaved batch: cells from all
+  // scenarios share one work queue and one thread budget, so trailing cells
+  // of scenario i overlap with leading cells of scenario i+1 instead of
+  // leaving workers idle at every scenario boundary. Each Report is
+  // assembled in canonical cell order — byte-identical to running the
+  // scenarios one at a time, at any thread count.
+  //
+  // `on_done`, when provided, fires exactly once per scenario, in index
+  // order, as soon as scenario i and every earlier scenario have finished
+  // (completed later scenarios are buffered). Callbacks run serialized but
+  // possibly on worker threads, and may steal the Report (it is the same
+  // object returned in the result vector, passed by mutable reference).
+  std::vector<Report> run_batch(
+      std::span<const Scenario> scenarios,
+      const std::function<void(std::size_t, Report&)>& on_done = {}) const;
 
   // --- measurement kernels (shared with core::JellyfishNetwork) ---
 

@@ -21,6 +21,18 @@ int as_int_value(const AxisEntry& entry, double v) {
   return static_cast<int>(v);
 }
 
+// Count fields (switch/port/server/width counts and the like) must be
+// strictly positive: a zero or negative count would either fail much later
+// inside a topology factory with an opaque error or — worse — build a
+// silently degenerate topology. Rejecting here keeps the sweep field path
+// in the message.
+int as_count_value(const AxisEntry& entry, double v) {
+  const int n = as_int_value(entry, v);
+  check(n > 0, "sweep field '" + entry.field + "' needs a positive value, got " +
+                   json::number_to_string(v));
+  return n;
+}
+
 bool topology_matches(const TopologySpec& t, const std::string& only) {
   return only.empty() || t.family == only || t.label == only;
 }
@@ -29,23 +41,23 @@ bool topology_matches(const TopologySpec& t, const std::string& only) {
 bool set_topology_field(TopologySpec& t, std::string_view member, const AxisEntry& entry,
                         double v) {
   if (member == "switches") {
-    t.switches = as_int_value(entry, v);
+    t.switches = as_count_value(entry, v);
   } else if (member == "ports") {
-    t.ports = as_int_value(entry, v);
+    t.ports = as_count_value(entry, v);
   } else if (member == "servers") {
-    t.servers = as_int_value(entry, v);
+    t.servers = as_count_value(entry, v);
   } else if (member == "fattree_k") {
-    t.fattree_k = as_int_value(entry, v);
+    t.fattree_k = as_count_value(entry, v);
   } else if (member == "degree") {
-    t.degree = as_int_value(entry, v);
+    t.degree = as_count_value(entry, v);
   } else if (member == "servers_per_switch") {
-    t.servers_per_switch = as_int_value(entry, v);
+    t.servers_per_switch = as_count_value(entry, v);
   } else if (member == "containers") {
-    t.containers = as_int_value(entry, v);
+    t.containers = as_count_value(entry, v);
   } else if (member == "switches_per_container") {
-    t.switches_per_container = as_int_value(entry, v);
+    t.switches_per_container = as_count_value(entry, v);
   } else if (member == "network_degree") {
-    t.network_degree = as_int_value(entry, v);
+    t.network_degree = as_count_value(entry, v);
   } else if (member == "local_fraction") {
     t.local_fraction = v;
   } else {
@@ -96,19 +108,19 @@ void apply_sweep_value(Scenario& s, const AxisEntry& entry, double value) {
   check(entry.only.empty(), "sweep field '" + f + "': 'only' applies to topology.* fields");
   if (f == "routing.width") {
     check(!s.routings.empty(), "sweep field 'routing.width': scenario has no routings");
-    for (auto& r : s.routings) r.width = as_int_value(entry, value);
+    for (auto& r : s.routings) r.width = as_count_value(entry, value);
   } else if (f == "traffic.demand") {
     s.traffic.demand = value;
   } else if (f == "traffic.num_hot") {
-    s.traffic.num_hot = as_int_value(entry, value);
+    s.traffic.num_hot = as_count_value(entry, value);
   } else if (f == "traffic.fan_in") {
-    s.traffic.fan_in = as_int_value(entry, value);
+    s.traffic.fan_in = as_count_value(entry, value);
   } else if (f == "samples_per_seed") {
-    s.samples_per_seed = as_int_value(entry, value);
+    s.samples_per_seed = as_count_value(entry, value);
   } else if (f == "sim.parallel_connections") {
-    s.sim.parallel_connections = as_int_value(entry, value);
+    s.sim.parallel_connections = as_count_value(entry, value);
   } else if (f == "sim.subflows") {
-    s.sim.subflows = as_int_value(entry, value);
+    s.sim.subflows = as_count_value(entry, value);
   } else {
     check(false, "unknown sweep field '" + f + "'");
   }
@@ -230,21 +242,34 @@ SweepReport run_sweep(const SweepSpec& spec, const EngineOptions& opts,
   Engine engine(opts);
   SweepReport out;
   out.name = spec.base.name;
-  out.points.reserve(points.size());
+  out.points.resize(points.size());
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto start = std::chrono::steady_clock::now();
-    SweepPointResult result;
-    result.label = points[i].label;
-    result.coords = points[i].coords;
-    result.report = engine.run(points[i].scenario);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    out.points.push_back(std::move(result));
+    out.points[i].label = std::move(points[i].label);
+    out.points[i].coords = std::move(points[i].coords);
+    scenarios.push_back(std::move(points[i].scenario));
+  }
+  // One interleaved batch: cells from every point share the engine's worker
+  // budget, so a sweep of many small points fills wide machines instead of
+  // draining at each point boundary. The engine buffers out-of-order
+  // completions and emits strictly in point order, so progress lines — and
+  // the report itself — stay canonical at any thread count. The per-point
+  // seconds are the wall time since the previous emission (run start for
+  // the first point); they sum to the sweep's wall time but, unlike the
+  // old one-point-at-a-time runner, include overlapped work from
+  // neighboring points.
+  auto last_emit = std::chrono::steady_clock::now();
+  engine.run_batch(scenarios, [&](std::size_t i, Report& report) {
+    out.points[i].report = std::move(report);
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(now - last_emit).count();
+    last_emit = now;
     if (progress) {
-      progress(static_cast<int>(i) + 1, static_cast<int>(points.size()), out.points.back(),
+      progress(static_cast<int>(i) + 1, static_cast<int>(points.size()), out.points[i],
                seconds);
     }
-  }
+  });
   return out;
 }
 

@@ -8,8 +8,10 @@
 // jellyfish switch count move together) and distinct axes form a cartesian
 // product. expand_sweep turns the spec into a deterministic sequence of
 // per-point Scenarios with auto-suffixed topology labels, and run_sweep
-// executes them on the Engine, streaming one progress callback per
-// completed point. Reports are byte-identical at any thread count.
+// executes them as one interleaved Engine batch — cells from every point
+// share the global worker budget — while buffering completions so progress
+// callbacks stream strictly in point order. Reports are byte-identical at
+// any thread count.
 #pragma once
 
 #include <functional>
@@ -87,13 +89,17 @@ struct SweepReport {
 };
 
 // Called after each completed point with (1-based done count, total points,
-// the finished point, wall seconds it took). Wall time never enters the
+// the finished point, wall seconds since the previous callback). Callbacks
+// fire strictly in point order — out-of-order completions are buffered —
+// and may run on worker threads (serialized). Wall time never enters the
 // report, so reports stay deterministic.
 using SweepProgress =
     std::function<void(int done, int total, const SweepPointResult& point, double seconds)>;
 
-// Expands and executes the sweep. Points run in canonical order, one at a
-// time; each point parallelizes internally per EngineOptions.
+// Expands and executes the sweep as one interleaved batch: cells from all
+// points feed the engine's shared worker budget (EngineOptions::threads),
+// and idle workers are lent to within-cell solves. Reports and progress
+// order are byte-identical at any thread count.
 SweepReport run_sweep(const SweepSpec& spec, const EngineOptions& opts = {},
                       const SweepProgress& progress = {});
 

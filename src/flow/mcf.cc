@@ -43,7 +43,9 @@ ArcGraph build_arcs(const graph::Graph& g, double capacity) {
 }
 
 // Dijkstra under arc lengths; fills dist and parent-arc; early-exits once the
-// target is settled. Returns dist to `t` (infinity if unreachable).
+// target is settled. Returns dist to `t` (infinity if unreachable). Ties in
+// the priority queue break on node id, so the parent forest — and therefore
+// the extracted path — depends only on the lengths, never on scheduling.
 double dijkstra(const ArcGraph& a, int s, int t, std::vector<double>& dist,
                 std::vector<int>& parent_arc) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -73,10 +75,25 @@ double dijkstra(const ArcGraph& a, int s, int t, std::vector<double>& dist,
 
 }  // namespace
 
+double gk_initial_length(std::size_t num_arcs, double epsilon, double capacity) {
+  check(num_arcs > 0, "gk_initial_length: need >= 1 arc");
+  check(epsilon > 0 && epsilon < 0.5, "gk_initial_length: epsilon in (0, 0.5)");
+  check(capacity > 0, "gk_initial_length: capacity must be positive");
+  constexpr double kMinNormal = std::numeric_limits<double>::min();
+  // delta = (m / (1 - eps))^(-1/eps), in log space so it cannot underflow.
+  const double log_delta =
+      -std::log(static_cast<double>(num_arcs) / (1.0 - epsilon)) / epsilon;
+  const double delta = std::exp(std::max(log_delta, std::log(kMinNormal)));
+  return std::max(delta / capacity, kMinNormal);
+}
+
 McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> commodities,
-                              const McfOptions& opts) {
+                              const McfOptions& opts, parallel::WorkBudget* budget) {
   check(opts.epsilon > 0 && opts.epsilon < 0.5, "max_concurrent_flow: epsilon in (0, 0.5)");
   check(opts.link_capacity > 0, "max_concurrent_flow: capacity must be positive");
+  check(opts.max_phases >= 1, "max_concurrent_flow: max_phases must be >= 1");
+  check(opts.convergence_window >= 1, "max_concurrent_flow: convergence_window >= 1");
+  check(opts.convergence_tol >= 0, "max_concurrent_flow: convergence_tol >= 0");
 
   McfResult result;
   std::vector<Commodity> cs;
@@ -104,13 +121,47 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
   }
 
   const double eps = opts.epsilon;
-  const double delta = std::pow(static_cast<double>(m) / (1.0 - eps), -1.0 / eps);
-  for (std::size_t i = 0; i < m; ++i) a.len[i] = delta / a.cap[i];
+  // Uniform capacities (build_arcs): one initial length serves every arc.
+  const double init_len = gk_initial_length(m, eps, opts.link_capacity);
+  for (std::size_t i = 0; i < m; ++i) a.len[i] = init_len;
 
+  const int num_cs = static_cast<int>(cs.size());
   std::vector<double> routed(cs.size(), 0.0);  // flow shipped per commodity
-  std::vector<double> dist;
-  std::vector<int> parent_arc;
-  std::vector<int> path;
+
+  // Workers borrowed for the whole solve: every round's Dijkstra sweep runs
+  // on 1 + extra threads (extra may be 0 — same schedule, serial execution).
+  // Per-slot scratch keeps the sweeps allocation-free after the first round;
+  // per-commodity outputs (dists, paths) land in index-addressed slots, so
+  // nothing depends on which worker computed what.
+  parallel::WorkerTeam team(budget, num_cs - 1);
+  std::vector<std::vector<double>> dist_scratch(static_cast<std::size_t>(team.size()));
+  std::vector<std::vector<int>> parent_scratch(static_cast<std::size_t>(team.size()));
+  std::vector<double> dists(cs.size(), 0.0);
+  std::vector<std::vector<int>> paths(cs.size());
+
+  // Shortest path for every listed commodity against the *current* lengths,
+  // which the caller must keep frozen for the duration of the sweep.
+  auto sweep = [&](const std::vector<int>& js) {
+    team.run(static_cast<int>(js.size()), [&](int k, int slot) {
+      const int j = js[static_cast<std::size_t>(k)];
+      const Commodity& c = cs[static_cast<std::size_t>(j)];
+      auto& parent = parent_scratch[static_cast<std::size_t>(slot)];
+      const double d =
+          dijkstra(a, c.src_switch, c.dst_switch, dist_scratch[static_cast<std::size_t>(slot)],
+                   parent);
+      dists[static_cast<std::size_t>(j)] = d;
+      auto& path = paths[static_cast<std::size_t>(j)];
+      path.clear();
+      if (std::isfinite(d)) {
+        for (int cur = c.dst_switch; parent[cur] != -1; cur = arc_src[parent[cur]]) {
+          path.push_back(parent[cur]);
+        }
+      }
+    });
+  };
+
+  std::vector<int> all_commodities(cs.size());
+  for (int j = 0; j < num_cs; ++j) all_commodities[static_cast<std::size_t>(j)] = j;
 
   // Certified primal value: scale all accumulated flow down by the worst
   // arc overload; the result is feasible, so lambda >= min_j routed_j/(ovl*d_j).
@@ -127,15 +178,17 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
 
   // LP-duality upper bound: lambda* <= D(l)/alpha(l) for any lengths l, with
   // D = sum_e len*cap and alpha = sum_j demand_j * dist_j(l). Costs one
-  // Dijkstra sweep, so it is evaluated periodically.
+  // Dijkstra sweep (parallel across commodities; the alpha reduction runs in
+  // canonical commodity order), so it is evaluated periodically.
   auto dual_upper = [&]() {
     double D = 0.0;
     for (std::size_t i = 0; i < m; ++i) D += a.len[i] * a.cap[i];
+    sweep(all_commodities);
     double alpha = 0.0;
-    for (const auto& c : cs) {
-      const double d = dijkstra(a, c.src_switch, c.dst_switch, dist, parent_arc);
+    for (int j = 0; j < num_cs; ++j) {
+      const double d = dists[static_cast<std::size_t>(j)];
       if (!std::isfinite(d)) return std::numeric_limits<double>::infinity();
-      alpha += c.demand * d;
+      alpha += cs[static_cast<std::size_t>(j)].demand * d;
     }
     return alpha > 0 ? D / alpha : std::numeric_limits<double>::infinity();
   };
@@ -144,33 +197,44 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
   const int dual_check_every = std::max(4, opts.convergence_window);
   double lambda_at_last_check = 0.0;
 
+  std::vector<double> remaining(cs.size(), 0.0);
+  std::vector<int> active;
+  std::vector<int> still_active;
+  active.reserve(cs.size());
+  still_active.reserve(cs.size());
+
   for (int phase = 0; phase < opts.max_phases; ++phase) {
-    for (std::size_t j = 0; j < cs.size(); ++j) {
-      const Commodity& c = cs[j];
-      double remaining = c.demand;
-      while (remaining > 1e-12) {
-        const double d = dijkstra(a, c.src_switch, c.dst_switch, dist, parent_arc);
-        if (!std::isfinite(d)) {
+    // Epoch-batched rounds: freeze the lengths, find every active
+    // commodity's shortest path in parallel, then route and update lengths
+    // serially in canonical commodity order. The schedule — and thus every
+    // arithmetic operation — is identical at any worker count.
+    for (std::size_t j = 0; j < cs.size(); ++j) remaining[j] = cs[j].demand;
+    active = all_commodities;
+    while (!active.empty()) {
+      sweep(active);
+      still_active.clear();
+      for (int j : active) {
+        const std::size_t ji = static_cast<std::size_t>(j);
+        if (!std::isfinite(dists[ji])) {
           // Disconnected commodity: no concurrent flow is possible.
           result.lambda = 0.0;
           result.lambda_upper = 0.0;
           result.decided_below = opts.decide_threshold >= 0;
           return result;
         }
-        path.clear();
-        for (int cur = c.dst_switch; parent_arc[cur] != -1; cur = arc_src[parent_arc[cur]]) {
-          path.push_back(parent_arc[cur]);
-        }
+        const auto& path = paths[ji];
         double bottleneck = std::numeric_limits<double>::infinity();
         for (int arc : path) bottleneck = std::min(bottleneck, a.cap[arc]);
-        const double f = std::min(remaining, bottleneck);
+        const double f = std::min(remaining[ji], bottleneck);
         for (int arc : path) {
           a.load[arc] += f;
           a.len[arc] *= 1.0 + eps * f / a.cap[arc];
         }
-        routed[j] += f;
-        remaining -= f;
+        routed[ji] += f;
+        remaining[ji] -= f;
+        if (remaining[ji] > 1e-12) still_active.push_back(j);
       }
+      active.swap(still_active);
     }
     result.phases = phase + 1;
     result.lambda = std::max(result.lambda, primal_lambda());

@@ -11,12 +11,22 @@
 // bound D(l)/alpha(l) is tracked so callers can make certified
 // above/below-threshold decisions (used by the binary search for "servers
 // supported at full capacity", Fig. 2(c)/11).
+//
+// The routing loop is epoch-batched (Fleischer-style): each round freezes
+// the arc lengths, computes every active commodity's shortest path — an
+// embarrassingly parallel Dijkstra sweep executed on workers borrowed from
+// an optional parallel::WorkBudget — and then applies flow and length
+// updates in canonical commodity order on one thread. Both certificates
+// hold for *any* length function, so batching never invalidates the bounds,
+// and because the schedule of rounds is independent of the worker count the
+// solver returns bit-identical results at every thread count.
 #pragma once
 
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 #include "traffic/traffic.h"
 
@@ -43,11 +53,24 @@ struct McfResult {
   bool decided_below = false;
 };
 
+// Initial GK arc length delta / capacity with delta = (m/(1-eps))^(-1/eps),
+// evaluated in log space: the direct pow underflows to zero for small
+// epsilon on large graphs (epsilon ~ 0.01 at a few thousand arcs), which
+// would zero every arc length, make Dijkstra tie-break arbitrarily, and
+// degenerate the dual bound to D = 0. The result is clamped to the smallest
+// normal double — GK only needs the initial lengths to be a uniform
+// positive scale, so the clamp preserves the algorithm exactly.
+double gk_initial_length(std::size_t num_arcs, double epsilon, double capacity);
+
 // Solves max concurrent flow for switch-level commodities on the switch
 // graph; every cable is two directed arcs of `link_capacity` each.
 // Commodities with zero demand are ignored; an empty commodity set yields
 // lambda = infinity clamped to 1e9.
+//
+// `budget` (optional) lends extra worker threads to the per-round Dijkstra
+// sweeps; results are bit-identical with or without it.
 McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> commodities,
-                              const McfOptions& opts = {});
+                              const McfOptions& opts = {},
+                              parallel::WorkBudget* budget = nullptr);
 
 }  // namespace jf::flow

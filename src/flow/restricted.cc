@@ -84,8 +84,9 @@ McfResult restricted_max_concurrent_flow(const graph::Graph& g,
   if (m == 0) return result;
 
   const double eps = opts.epsilon;
-  const double delta = std::pow(static_cast<double>(m) / (1.0 - eps), -1.0 / eps);
-  std::vector<double> len(m, delta / opts.link_capacity);
+  // Log-space initial length: the naive pow underflows for small epsilon on
+  // large path sets (see gk_initial_length).
+  std::vector<double> len(m, gk_initial_length(m, eps, opts.link_capacity));
   std::vector<double> load(m, 0.0);
   std::vector<double> routed(cs.size(), 0.0);
 

@@ -8,38 +8,40 @@
 
 namespace jf::flow {
 
-double permutation_throughput(const topo::Topology& topo, Rng& rng, const McfOptions& opts) {
+double permutation_throughput(const topo::Topology& topo, Rng& rng, const McfOptions& opts,
+                              parallel::WorkBudget* budget) {
   check(topo.num_servers() >= 2, "permutation_throughput: need >= 2 servers");
   auto tm = traffic::random_permutation(topo.num_servers(), rng);
   auto commodities = traffic::to_switch_commodities(topo, tm);
-  auto result = max_concurrent_flow(topo.switches(), commodities, opts);
+  auto result = max_concurrent_flow(topo.switches(), commodities, opts, budget);
   return std::min(1.0, result.lambda);
 }
 
 double mean_permutation_throughput(const topo::Topology& topo, Rng& rng, int samples,
-                                   const McfOptions& opts) {
+                                   const McfOptions& opts, parallel::WorkBudget* budget) {
   check(samples >= 1, "mean_permutation_throughput: need >= 1 sample");
   double sum = 0.0;
-  for (int i = 0; i < samples; ++i) sum += permutation_throughput(topo, rng, opts);
+  for (int i = 0; i < samples; ++i) sum += permutation_throughput(topo, rng, opts, budget);
   return sum / samples;
 }
 
 bool supports_full_capacity(const topo::Topology& topo, Rng& rng, int matrices,
-                            double threshold) {
+                            double threshold, parallel::WorkBudget* budget) {
   check(matrices >= 1, "supports_full_capacity: need >= 1 matrix");
   McfOptions opts;
   opts.decide_threshold = threshold;
   for (int i = 0; i < matrices; ++i) {
     auto tm = traffic::random_permutation(topo.num_servers(), rng);
     auto commodities = traffic::to_switch_commodities(topo, tm);
-    auto result = max_concurrent_flow(topo.switches(), commodities, opts);
+    auto result = max_concurrent_flow(topo.switches(), commodities, opts, budget);
     if (!result.decided_above) return false;
   }
   return true;
 }
 
 int max_servers_at_full_capacity(int num_switches, int ports_per_switch, Rng& rng,
-                                 const CapacitySearchOptions& opts) {
+                                 const CapacitySearchOptions& opts,
+                                 parallel::WorkBudget* budget) {
   check(num_switches >= 2 && ports_per_switch >= 3,
         "max_servers_at_full_capacity: bad equipment");
 
@@ -50,7 +52,8 @@ int max_servers_at_full_capacity(int num_switches, int ports_per_switch, Rng& rn
     Rng tm_rng = rng.fork(static_cast<std::uint64_t>(servers) * 2 + 2);
     auto topo =
         topo::build_jellyfish_with_servers(num_switches, ports_per_switch, servers, topo_rng);
-    return supports_full_capacity(topo, tm_rng, opts.matrices_per_check, opts.threshold);
+    return supports_full_capacity(topo, tm_rng, opts.matrices_per_check, opts.threshold,
+                                  budget);
   };
 
   // Bracket: every switch needs network degree >= 2 to be worth checking, so
@@ -70,7 +73,10 @@ int max_servers_at_full_capacity(int num_switches, int ports_per_switch, Rng& rn
   while (lo > 2) {
     Rng topo_rng = rng.fork(static_cast<std::uint64_t>(lo) * 2 + 1);
     auto topo = topo::build_jellyfish_with_servers(num_switches, ports_per_switch, lo, topo_rng);
-    if (supports_full_capacity(topo, verify_rng, opts.verify_matrices, opts.threshold)) break;
+    if (supports_full_capacity(topo, verify_rng, opts.verify_matrices, opts.threshold,
+                               budget)) {
+      break;
+    }
     --lo;
   }
   return lo;

@@ -15,18 +15,25 @@
 
 namespace jf::flow {
 
+// Every entry point takes an optional parallel::WorkBudget that lends extra
+// worker threads to the underlying MCF solves; results are bit-identical
+// with or without one.
+
 // Normalized throughput (min(1, lambda)) for one sampled permutation.
 double permutation_throughput(const topo::Topology& topo, Rng& rng,
-                              const McfOptions& opts = {});
+                              const McfOptions& opts = {},
+                              parallel::WorkBudget* budget = nullptr);
 
 // Average normalized throughput over `samples` permutations.
 double mean_permutation_throughput(const topo::Topology& topo, Rng& rng, int samples,
-                                   const McfOptions& opts = {});
+                                   const McfOptions& opts = {},
+                                   parallel::WorkBudget* budget = nullptr);
 
 // True if `matrices` independently sampled permutations all sustain
 // normalized throughput >= threshold (certified via the MCF dual bound).
 bool supports_full_capacity(const topo::Topology& topo, Rng& rng, int matrices,
-                            double threshold = 0.95);
+                            double threshold = 0.95,
+                            parallel::WorkBudget* budget = nullptr);
 
 struct CapacitySearchOptions {
   int matrices_per_check = 3;   // permutations per candidate server count
@@ -39,6 +46,7 @@ struct CapacitySearchOptions {
 // full capacity. A fresh RRG is sampled per candidate (the paper's
 // methodology). Returns 0 if even one server per switch fails.
 int max_servers_at_full_capacity(int num_switches, int ports_per_switch, Rng& rng,
-                                 const CapacitySearchOptions& opts = {});
+                                 const CapacitySearchOptions& opts = {},
+                                 parallel::WorkBudget* budget = nullptr);
 
 }  // namespace jf::flow

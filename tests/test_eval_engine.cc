@@ -2,13 +2,11 @@
 // the legacy per-call facade API, and registry extensibility.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <set>
 #include <stdexcept>
 
 #include "core/jellyfish_network.h"
 #include "eval/engine.h"
-#include "eval/thread_pool.h"
 #include "eval/topology_factory.h"
 #include "flow/restricted.h"
 #include "flow/throughput.h"
@@ -30,21 +28,6 @@ eval::Scenario small_scenario() {
                eval::Metric::kRoutedThroughput};
   s.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
   return s;
-}
-
-TEST(ThreadPool, RunsEveryIndexOnce) {
-  std::vector<std::atomic<int>> hits(64);
-  eval::parallel_for(64, 4, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ThreadPool, PropagatesTaskException) {
-  EXPECT_THROW(
-      eval::parallel_for(8, 4,
-                         [](int i) {
-                           if (i == 3) throw std::runtime_error("boom");
-                         }),
-      std::runtime_error);
 }
 
 // The acceptance bar for the batch runner: the same scenario + seed list

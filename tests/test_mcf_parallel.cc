@@ -1,0 +1,183 @@
+// flow/mcf: decision mode (decide_threshold certificates), disconnected
+// commodities, the log-space initial-length fix for tiny epsilon, and
+// bit-identity of the parallel solver vs the serial path at several thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "flow/mcf.h"
+#include "graph/graph.h"
+#include "topo/fattree.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace jf::flow {
+namespace {
+
+McfResult solve_with_threads(const graph::Graph& g, const std::vector<Commodity>& cs,
+                             const McfOptions& opts, int threads) {
+  if (threads <= 1) return max_concurrent_flow(g, cs, opts);
+  parallel::WorkBudget budget(threads - 1);
+  return max_concurrent_flow(g, cs, opts, &budget);
+}
+
+TEST(McfParallel, BitIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 30, .ports_per_switch = 10, .network_degree = 6}, rng);
+  auto tm = traffic::random_permutation(topo.num_servers(), rng);
+  auto cs = traffic::to_switch_commodities(topo, tm);
+
+  const auto serial = solve_with_threads(topo.switches(), cs, {}, 1);
+  EXPECT_GT(serial.lambda, 0.0);
+  for (int threads : {2, 8}) {
+    const auto parallel = solve_with_threads(topo.switches(), cs, {}, threads);
+    // Bit-for-bit: the epoch-batched round schedule is identical at any
+    // worker count, so every floating-point operation happens in the same
+    // order.
+    EXPECT_EQ(serial.lambda, parallel.lambda) << threads;
+    EXPECT_EQ(serial.lambda_upper, parallel.lambda_upper) << threads;
+    EXPECT_EQ(serial.phases, parallel.phases) << threads;
+    EXPECT_EQ(serial.decided_above, parallel.decided_above) << threads;
+    EXPECT_EQ(serial.decided_below, parallel.decided_below) << threads;
+  }
+}
+
+TEST(McfParallel, DecisionModeBitIdenticalAcrossThreadCounts) {
+  auto ft = topo::build_fattree(4);
+  Rng rng(7);
+  auto tm = traffic::random_permutation(ft.num_servers(), rng);
+  auto cs = traffic::to_switch_commodities(ft, tm);
+  McfOptions opts;
+  opts.decide_threshold = 0.9;
+  const auto serial = solve_with_threads(ft.switches(), cs, opts, 1);
+  const auto parallel = solve_with_threads(ft.switches(), cs, opts, 8);
+  EXPECT_EQ(serial.lambda, parallel.lambda);
+  EXPECT_EQ(serial.phases, parallel.phases);
+  EXPECT_EQ(serial.decided_above, parallel.decided_above);
+  EXPECT_EQ(serial.decided_below, parallel.decided_below);
+}
+
+// A path 0 - 1 - 2 with both 0->2 and 1->2 at unit demand: arc 1->2 carries
+// both commodities, so lambda* = 0.5 exactly.
+TEST(McfDecision, DecidesAboveAndBelowWithCertificates) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<Commodity> cs = {{0, 2, 1.0}, {1, 2, 1.0}};
+
+  McfOptions above;
+  above.decide_threshold = 0.3;  // well under lambda* = 0.5
+  auto res = max_concurrent_flow(g, cs, above);
+  EXPECT_TRUE(res.decided_above);
+  EXPECT_FALSE(res.decided_below);
+  EXPECT_GE(res.lambda, 0.3);
+
+  McfOptions below;
+  below.decide_threshold = 0.9;  // well over lambda* = 0.5
+  res = max_concurrent_flow(g, cs, below);
+  EXPECT_TRUE(res.decided_below);
+  EXPECT_FALSE(res.decided_above);
+  EXPECT_LT(res.lambda_upper, 0.9);
+  // The dual certificate stays a true upper bound on lambda* = 0.5.
+  EXPECT_GE(res.lambda_upper, 0.5 - 1e-9);
+}
+
+TEST(McfDecision, ThresholdZeroDecidesAboveImmediately) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  std::vector<Commodity> cs = {{0, 1, 1.0}};
+  McfOptions opts;
+  opts.decide_threshold = 0.0;
+  const auto res = max_concurrent_flow(g, cs, opts);
+  EXPECT_TRUE(res.decided_above);
+}
+
+TEST(McfDisconnected, UnreachableCommodityYieldsZeroLambda) {
+  graph::Graph g(4);  // two components: {0,1} and {2,3}
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  std::vector<Commodity> cs = {{0, 1, 1.0}, {0, 2, 1.0}};
+  const auto res = max_concurrent_flow(g, cs, {});
+  EXPECT_EQ(res.lambda, 0.0);
+  EXPECT_EQ(res.lambda_upper, 0.0);
+  EXPECT_FALSE(res.decided_below);  // no threshold: no decision claimed
+
+  McfOptions decide;
+  decide.decide_threshold = 0.5;
+  const auto decided = max_concurrent_flow(g, cs, decide);
+  EXPECT_EQ(decided.lambda, 0.0);
+  EXPECT_TRUE(decided.decided_below);
+  EXPECT_FALSE(decided.decided_above);
+
+  // Also bit-identical under parallel execution (the disconnect is found
+  // during a parallel sweep but reported from the canonical apply order).
+  const auto parallel = solve_with_threads(g, cs, {}, 8);
+  EXPECT_EQ(parallel.lambda, 0.0);
+  EXPECT_EQ(parallel.lambda_upper, 0.0);
+}
+
+TEST(GkInitialLength, MatchesPowWherePowIsSafe) {
+  const std::size_t m = 100;
+  const double eps = 0.1;
+  const double direct = std::pow(static_cast<double>(m) / (1.0 - eps), -1.0 / eps);
+  EXPECT_NEAR(gk_initial_length(m, eps, 1.0), direct, direct * 1e-12);
+  EXPECT_NEAR(gk_initial_length(m, eps, 4.0), direct / 4.0, direct * 1e-12);
+}
+
+TEST(GkInitialLength, SmallEpsilonOnLargeGraphsStaysPositive) {
+  // The direct pow underflows to exactly 0 here; the log-space version must
+  // stay a positive normal double.
+  const std::size_t m = 4096;
+  const double eps = 0.01;
+  EXPECT_EQ(std::pow(static_cast<double>(m) / (1.0 - eps), -1.0 / eps), 0.0);
+  const double len = gk_initial_length(m, eps, 1.0);
+  EXPECT_GT(len, 0.0);
+  EXPECT_GE(len, std::numeric_limits<double>::min());  // normal, not denormal
+  EXPECT_THROW(gk_initial_length(0, eps, 1.0), std::invalid_argument);
+  EXPECT_THROW(gk_initial_length(m, 0.6, 1.0), std::invalid_argument);
+  EXPECT_THROW(gk_initial_length(m, eps, 0.0), std::invalid_argument);
+}
+
+TEST(McfSmallEpsilon, SolverSurvivesUnderflowRegime) {
+  // 12 switches x degree 5 = 30 edges = 60 arcs; (60/0.995)^(-200)
+  // underflows, so the old initializer zeroed every arc length and the dual
+  // bound collapsed to D = 0. With log-space lengths the solve must produce
+  // a positive certified primal under a finite, consistent dual.
+  Rng rng(9);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 12, .ports_per_switch = 8, .network_degree = 5}, rng);
+  auto tm = traffic::random_permutation(topo.num_servers(), rng);
+  auto cs = traffic::to_switch_commodities(topo, tm);
+  McfOptions opts;
+  opts.epsilon = 0.005;
+  opts.max_phases = 60;
+  const auto res = max_concurrent_flow(topo.switches(), cs, opts);
+  EXPECT_GT(res.lambda, 0.0);
+  EXPECT_TRUE(std::isfinite(res.lambda_upper));
+  EXPECT_GT(res.lambda_upper, 0.0);
+  EXPECT_LE(res.lambda, res.lambda_upper * (1.0 + 1e-9));
+}
+
+TEST(McfOptionsChecks, RejectsDegenerateRanges) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  std::vector<Commodity> cs = {{0, 1, 1.0}};
+  McfOptions opts;
+  opts.max_phases = 0;
+  EXPECT_THROW(max_concurrent_flow(g, cs, opts), std::invalid_argument);
+  opts = {};
+  opts.convergence_window = 0;
+  EXPECT_THROW(max_concurrent_flow(g, cs, opts), std::invalid_argument);
+  opts = {};
+  opts.convergence_tol = -1.0;
+  EXPECT_THROW(max_concurrent_flow(g, cs, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jf::flow

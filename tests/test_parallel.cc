@@ -1,0 +1,155 @@
+// common/parallel: work-budget accounting, worker teams (slot ids, reuse
+// across rounds, error propagation), and parallel_for (fixed thread counts
+// plus budgeted nesting with early slot release).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace jf::parallel {
+namespace {
+
+TEST(ResolveThreads, PositivePassesThroughNonPositiveSelectsHardware) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-5), 1);
+}
+
+TEST(ParallelFor, RunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(64, 4, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesTaskException) {
+  EXPECT_THROW(parallel_for(8, 4,
+                            [](int i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(WorkBudget, AcquireIsCappedAndReleaseRestores) {
+  WorkBudget budget(3);
+  EXPECT_EQ(budget.available(), 3);
+  EXPECT_EQ(budget.try_acquire(2), 2);
+  EXPECT_EQ(budget.available(), 1);
+  EXPECT_EQ(budget.try_acquire(5), 1);  // partial grant drains the pot
+  EXPECT_EQ(budget.try_acquire(1), 0);  // empty: run serial
+  budget.release(3);
+  EXPECT_EQ(budget.available(), 3);
+  EXPECT_EQ(budget.try_acquire(0), 0);  // want <= 0 is a no-op
+}
+
+TEST(WorkBudget, NegativeConstructionClampsToZero) {
+  WorkBudget budget(-2);
+  EXPECT_EQ(budget.available(), 0);
+  EXPECT_EQ(budget.try_acquire(1), 0);
+}
+
+TEST(WorkerTeam, NullBudgetRunsSerialWithSlotZero) {
+  WorkerTeam team(nullptr, 8);
+  EXPECT_EQ(team.size(), 1);
+  std::vector<int> order;
+  team.run(5, [&](int i, int slot) {
+    EXPECT_EQ(slot, 0);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerTeam, BorrowsSlotsAndRunsEveryIndexOnceAcrossRounds) {
+  WorkBudget budget(3);
+  WorkerTeam team(&budget, 3);
+  EXPECT_EQ(team.size(), 4);
+  EXPECT_EQ(budget.available(), 0);  // slots held for the team's lifetime
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(17);
+    std::atomic<int> bad_slot{0};
+    team.run(17, [&](int i, int slot) {
+      if (slot < 0 || slot >= team.size()) bad_slot = 1;
+      hits[static_cast<std::size_t>(i)]++;
+    });
+    EXPECT_EQ(bad_slot.load(), 0);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+// Regression for the stale-round race: alternating tiny and large rounds is
+// exactly the MCF pattern (sweep over a shrinking active set, then a full
+// dual sweep). A worker lingering from a small round must never claim an
+// index of — or double-count completions in — the next, larger round.
+TEST(WorkerTeam, AlternatingRoundSizesStayExact) {
+  WorkBudget budget(3);
+  WorkerTeam team(&budget, 3);
+  for (int round = 0; round < 200; ++round) {
+    const int n = (round % 2 == 0) ? 2 : 64;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    team.run(n, [&](int i, int) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "round " << round;
+  }
+}
+
+TEST(WorkerTeam, ReleasesSlotsOnDestruction) {
+  WorkBudget budget(2);
+  {
+    WorkerTeam team(&budget, 2);
+    EXPECT_EQ(budget.available(), 0);
+  }
+  EXPECT_EQ(budget.available(), 2);
+}
+
+TEST(WorkerTeam, PropagatesFirstException) {
+  WorkBudget budget(2);
+  WorkerTeam team(&budget, 2);
+  EXPECT_THROW(team.run(32,
+                        [](int i, int) {
+                          if (i % 7 == 3) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The team stays usable after a failed round.
+  std::atomic<int> sum{0};
+  team.run(10, [&](int i, int) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(BudgetedParallelFor, RunsEveryIndexAndReturnsSlots) {
+  WorkBudget budget(3);
+  std::vector<std::atomic<int>> hits(40);
+  parallel_for(40, &budget, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(budget.available(), 3);
+}
+
+TEST(BudgetedParallelFor, NullAndEmptyBudgetsRunSerial) {
+  std::vector<int> order;
+  parallel_for(4, static_cast<WorkBudget*>(nullptr), [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  WorkBudget empty(0);
+  order.clear();
+  parallel_for(4, &empty, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BudgetedParallelFor, NestedRegionsShareOneBudget) {
+  // Outer loop over "cells", inner budgeted loops inside each cell: every
+  // index at both levels must run exactly once no matter how slots are
+  // split, and the budget must drain back to full.
+  WorkBudget budget(3);
+  std::vector<std::atomic<int>> inner_hits(6 * 8);
+  parallel_for(6, &budget, [&](int cell) {
+    parallel_for(8, &budget, [&](int i) {
+      inner_hits[static_cast<std::size_t>(cell * 8 + i)]++;
+    });
+  });
+  for (const auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(budget.available(), 3);
+}
+
+}  // namespace
+}  // namespace jf::parallel

@@ -98,6 +98,37 @@ TEST(Sweep, ApplyErrors) {
                std::invalid_argument);
 }
 
+TEST(Sweep, CountFieldsRejectNonPositiveValues) {
+  eval::Scenario s;
+  s.topologies = {{.family = "jellyfish", .switches = 8, .ports = 4, .servers = 8}};
+  s.routings = {{"ksp", 4}};
+  // Zero and negative counts fail up front with the field path in the
+  // message, instead of an opaque factory error (or a silently degenerate
+  // topology) much later.
+  for (double bad : {0.0, -8.0}) {
+    EXPECT_THROW(eval::apply_sweep_value(s, {"topology.switches", "", {}}, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(eval::apply_sweep_value(s, {"topology.servers", "", {}}, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(eval::apply_sweep_value(s, {"routing.width", "", {}}, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(eval::apply_sweep_value(s, {"samples_per_seed", "", {}}, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(eval::apply_sweep_value(s, {"sim.subflows", "", {}}, bad),
+                 std::invalid_argument);
+  }
+  try {
+    eval::apply_sweep_value(s, {"topology.switches", "", {}}, -8.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("topology.switches"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-8"), std::string::npos);
+  }
+  // traffic.demand is a rate, not a count: zero stays legal.
+  eval::apply_sweep_value(s, {"traffic.demand", "", {}}, 0.0);
+  EXPECT_EQ(s.traffic.demand, 0.0);
+}
+
 TEST(Sweep, RunSweepByteIdenticalAcrossThreadCounts) {
   const auto spec = two_axis_spec();
   eval::SweepSpec small = spec;
@@ -124,6 +155,51 @@ TEST(Sweep, ProgressFiresOncePerPoint) {
                   });
   EXPECT_EQ(calls, 6);
   EXPECT_EQ(last_done, 6);
+}
+
+// Cells from every point run interleaved on one shared budget, but progress
+// must still stream strictly in point order with each point's report already
+// attached — at every thread count.
+TEST(Sweep, InterleavedSchedulerKeepsProgressCanonical) {
+  const auto spec = two_axis_spec();
+  for (int threads : {1, 3, 8}) {
+    std::vector<std::string> labels;
+    const auto report = eval::run_sweep(
+        spec, {.threads = threads},
+        [&](int done, int total, const eval::SweepPointResult& point, double) {
+          EXPECT_EQ(done, static_cast<int>(labels.size()) + 1);
+          EXPECT_EQ(total, 6);
+          EXPECT_FALSE(point.report.samples.empty());  // report attached at emission
+          labels.push_back(point.label);
+        });
+    ASSERT_EQ(labels.size(), 6u) << threads;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      EXPECT_EQ(labels[i], report.points[i].label) << threads;
+    }
+  }
+}
+
+// Engine::run_batch is run_sweep's engine-level contract: batch execution
+// equals point-at-a-time execution, and ordered callbacks see the same
+// reports the batch returns.
+TEST(Sweep, RunBatchMatchesIndividualRuns) {
+  const auto points = eval::expand_sweep(two_axis_spec());
+  std::vector<eval::Scenario> scenarios;
+  for (const auto& p : points) scenarios.push_back(p.scenario);
+
+  std::vector<std::string> solo;
+  for (const auto& s : scenarios) {
+    solo.push_back(eval::report_to_json(eval::Engine({.threads = 1}).run(s)).dump());
+  }
+  std::vector<std::size_t> emitted;
+  const auto batch = eval::Engine({.threads = 4}).run_batch(
+      scenarios, [&](std::size_t i, eval::Report&) { emitted.push_back(i); });
+  ASSERT_EQ(batch.size(), scenarios.size());
+  ASSERT_EQ(emitted.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(emitted[i], i);
+    EXPECT_EQ(eval::report_to_json(batch[i]).dump(), solo[i]);
+  }
 }
 
 // The shared-PathCache fast path (deterministic families build topology +
