@@ -1,56 +1,38 @@
 // Figure 6: throughput of incrementally-grown vs. from-scratch Jellyfish.
 //
-// The paper grows a network from 20 to 160 switches in increments of 20
-// (k = 12 ports, 4 servers per switch) and shows the incrementally built
-// topologies match from-scratch construction in normalized throughput
-// (avg/min/max over runs nearly identical).
-#include <iostream>
-#include <vector>
+// Ported onto the experiment farm: scenarios/fig06.json grows a network
+// from 20 to 160 switches in increments of 20 (k = 12 ports, 4 servers per
+// switch) as a jellyfish-incr row and compares its normalized fluid MCF
+// throughput against from-scratch construction at every size, over 5
+// seeds. Paper shape: the incrementally built topologies match from-scratch
+// construction (avg/min/max over runs nearly identical).
+#include <cmath>
+#include <ostream>
 
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "flow/throughput.h"
-#include "topo/jellyfish.h"
+#include "eval/bench_driver.h"
 
-int main() {
-  using namespace jf;
-  const int k = 12, servers_per_switch = 4;
-  const int r = k - servers_per_switch;  // 8
-  const int runs = 5;                     // paper uses 20
-  Rng rng(606);
-  flow::McfOptions mcf;
+namespace {
 
-  print_banner(std::cout, "Figure 6: incremental vs from-scratch Jellyfish throughput");
-  Table table({"switches", "servers", "incr_avg", "incr_min", "incr_max", "scratch_avg",
-               "scratch_min", "scratch_max"});
-
-  for (int n = 20; n <= 160; n += 20) {
-    std::vector<double> incr, scratch;
-    for (int run = 0; run < runs; ++run) {
-      // Incremental: grow from 20 switches in steps of 20.
-      Rng gr = rng.fork(run * 1000 + 1);
-      auto grown = topo::build_jellyfish(
-          {.num_switches = 20, .ports_per_switch = k, .network_degree = r}, gr);
-      while (grown.num_switches() < n) {
-        topo::expand_add_switches(grown, 20, k, r, servers_per_switch, gr);
-      }
-      incr.push_back(flow::permutation_throughput(grown, gr, mcf));
-
-      Rng sr = rng.fork(run * 1000 + 2 + static_cast<std::uint64_t>(n));
-      auto fresh = topo::build_jellyfish(
-          {.num_switches = n, .ports_per_switch = k, .network_degree = r}, sr);
-      scratch.push_back(flow::permutation_throughput(fresh, sr, mcf));
-    }
-    auto si = summarize(incr);
-    auto ss = summarize(scratch);
-    table.add_row({Table::fmt(n), Table::fmt(n * servers_per_switch), Table::fmt(si.mean),
-                   Table::fmt(si.min), Table::fmt(si.max), Table::fmt(ss.mean),
-                   Table::fmt(ss.min), Table::fmt(ss.max)});
-    std::cout << "  [N=" << n << " done]\n";
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  double worst_gap = 0.0;
+  int compared = 0;
+  for (const auto& point : report.points) {
+    const double s = jf::eval::mean_for(point, "scratch", "throughput");
+    const double i = jf::eval::mean_for(point, "incremental", "throughput");
+    if (std::isnan(s) || std::isnan(i)) continue;
+    worst_gap = std::max(worst_gap, std::abs(s - i));
+    ++compared;
   }
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: the two families are close to identical at every size.\n";
-  return 0;
+  if (compared > 0) {
+    os << "\npaper shape: incremental vs from-scratch mean-throughput gap <= "
+       << worst_gap << " across " << compared << " sizes (nearly identical)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv, "Figure 6: incremental vs from-scratch Jellyfish throughput",
+      JF_SCENARIO_DIR "/fig06.json", shape_note);
 }

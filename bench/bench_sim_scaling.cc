@@ -1,0 +1,175 @@
+// Packet-sim within-cell scaling benchmark — the perf trajectory for the
+// sharded conservative-lookahead event engine.
+//
+// Runs one permutation workload (the shape behind Table 1 / Figs. 10-13) on
+// a jellyfish topology: once on the serial Simulator as the reference, then
+// on the sharded engine at several (shards, threads) points. Every run's
+// per-flow goodput, drop count, and retransmit count must be byte-identical
+// to the serial reference — the benchmark doubles as a determinism check —
+// and BENCH_sim.json records the wall times. Run from the repo root:
+//
+//   ./build/bench_sim_scaling [--switches N] [--degree R] [--ports K]
+//                             [--measure-ms M] [--repeats K] [--out BENCH_sim.json]
+//
+// Speedup is only as real as the machine: hardware_concurrency is recorded
+// alongside the numbers so a 1-core CI box reporting ~1x is distinguishable
+// from a genuine scaling regression on a wide machine.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "sim/workload.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace {
+
+using namespace jf;
+
+bool same_result(const sim::WorkloadResult& a, const sim::WorkloadResult& b) {
+  return a.per_flow == b.per_flow && a.per_server == b.per_server &&
+         a.packet_drops == b.packet_drops && a.total_retransmits == b.total_retransmits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int switches = 48;
+  int degree = 8;
+  int ports = 12;
+  int measure_ms = 20;
+  int repeats = 2;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_sim_scaling: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--switches") {
+      switches = std::atoi(value());
+    } else if (arg == "--degree") {
+      degree = std::atoi(value());
+    } else if (arg == "--ports") {
+      ports = std::atoi(value());
+    } else if (arg == "--measure-ms") {
+      measure_ms = std::atoi(value());
+    } else if (arg == "--repeats") {
+      repeats = std::atoi(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::cerr << "usage: bench_sim_scaling [--switches N] [--degree R] [--ports K]"
+                   " [--measure-ms M] [--repeats K] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  try {
+    constexpr std::uint64_t kSeed = 1;
+    Rng build_rng(kSeed);
+    auto topo = topo::build_jellyfish(
+        {.num_switches = switches, .ports_per_switch = ports, .network_degree = degree},
+        build_rng);
+    auto tm = traffic::random_permutation(topo.num_servers(), build_rng);
+
+    sim::WorkloadConfig cfg;
+    cfg.routing = {routing::Scheme::kKsp, 4};
+    cfg.warmup_ns = 5 * sim::kMillisecond;
+    cfg.measure_ns = static_cast<sim::TimeNs>(measure_ms) * sim::kMillisecond;
+    // One provider, fully warmed by the reference run, shared by every
+    // timed run so route enumeration stays out of the measurement.
+    auto routes = routing::make_path_provider(topo.switches(), cfg.routing);
+
+    auto run_once = [&](int shards, int threads, sim::WorkloadResult& out) {
+      sim::WorkloadConfig c = cfg;
+      c.shards = shards;
+      Rng rng(kSeed + 100);
+      const auto start = std::chrono::steady_clock::now();
+      if (threads <= 1) {
+        out = sim::run_workload(topo, tm, c, *routes, rng);
+      } else {
+        parallel::WorkBudget budget(threads - 1);
+        out = sim::run_workload(topo, tm, c, *routes, rng, &budget);
+      }
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+    };
+
+    std::cerr << "instance: " << switches << " switches, degree " << degree << ", "
+              << topo.num_servers() << " servers, " << tm.flows.size() << " flows, "
+              << cfg.measure_ns / sim::kMillisecond << " ms measured\n";
+
+    sim::WorkloadResult reference;
+    double serial_best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < std::max(1, repeats); ++k) {
+      sim::WorkloadResult res;
+      serial_best = std::min(serial_best, run_once(1, 1, res));
+      reference = res;
+    }
+    std::cerr << "serial: " << serial_best << " s  (mean goodput "
+              << reference.mean_flow_throughput << ", drops " << reference.packet_drops
+              << ")\n";
+
+    json::Object root;
+    root.emplace_back("benchmark", std::string("sim_scaling"));
+    root.emplace_back("switches", switches);
+    root.emplace_back("network_degree", degree);
+    root.emplace_back("ports", ports);
+    root.emplace_back("servers", topo.num_servers());
+    root.emplace_back("flows", static_cast<double>(tm.flows.size()));
+    root.emplace_back("measure_ms", measure_ms);
+    root.emplace_back("repeats", repeats);
+    root.emplace_back("hardware_concurrency", parallel::resolve_threads(0));
+    root.emplace_back("serial_best_seconds", serial_best);
+
+    json::Array runs;
+    for (int shards : {1, 2, 8}) {
+      for (int threads : {1, 2, 4, 8}) {
+        if (shards == 1 && threads > 1) continue;  // serial engine ignores threads
+        sim::WorkloadResult res;
+        double best = std::numeric_limits<double>::infinity();
+        for (int k = 0; k < std::max(1, repeats); ++k) {
+          best = std::min(best, run_once(shards, threads, res));
+        }
+        if (!same_result(res, reference)) {
+          std::cerr << "bench_sim_scaling: results diverged at shards " << shards
+                    << ", threads " << threads << " — determinism bug\n";
+          return 1;
+        }
+        const double speedup = best > 0 ? serial_best / best : 0.0;
+        std::cerr << "shards " << shards << " threads " << threads << ": " << best
+                  << " s  (speedup " << speedup << "x)\n";
+        json::Object run;
+        run.emplace_back("shards", shards);
+        run.emplace_back("threads", threads);
+        run.emplace_back("best_seconds", best);
+        run.emplace_back("speedup_vs_serial", speedup);
+        runs.emplace_back(json::Value(std::move(run)));
+      }
+    }
+    root.emplace_back("runs", json::Value(std::move(runs)));
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "bench_sim_scaling: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << json::Value(std::move(root)).dump(2) << "\n";
+    std::cerr << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_sim_scaling: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -33,12 +33,15 @@ int usage(std::ostream& os, int code) {
   os << "usage: jf_eval <command> [args]\n"
         "\n"
         "commands:\n"
-        "  run <scenario.json> [--threads N] [--out FILE] [--format table|csv|json]\n"
-        "                      [--quiet]\n"
+        "  run <scenario.json> [--threads N] [--sim-shards N] [--out FILE]\n"
+        "                      [--format table|csv|json] [--quiet]\n"
         "      Execute the scenario (or sweep) and render the report.\n"
         "      --threads N   global worker budget shared by concurrent cells and\n"
         "                    within-cell solvers (0 = hardware concurrency);\n"
         "                    reports are byte-identical at any value\n"
+        "      --sim-shards N  override the scenario's sim.shards knob (packet-sim\n"
+        "                    event-loop sharding; reports are byte-identical at\n"
+        "                    any value — this is the CI determinism-gate hook)\n"
         "      --out FILE    write the report to FILE (default format: json)\n"
         "      --format F    report rendering; default json with --out, else table\n"
         "      --quiet       suppress per-point progress lines on stderr\n"
@@ -69,6 +72,7 @@ int cmd_run(int argc, char** argv) {
   std::string out_path;
   std::string format;
   int threads = 0;
+  int sim_shards = 0;
   bool quiet = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +82,9 @@ int cmd_run(int argc, char** argv) {
     };
     if (arg == "--threads") {
       threads = std::atoi(value());
+    } else if (arg == "--sim-shards") {
+      sim_shards = std::atoi(value());
+      if (sim_shards < 1) throw std::invalid_argument("--sim-shards needs a value >= 1");
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--format") {
@@ -101,6 +108,20 @@ int cmd_run(int argc, char** argv) {
   }
 
   eval::SweepSpec spec = eval::load_sweep_file(path);
+  if (sim_shards > 0) {
+    // The override rewrites the base scenario, which sweep expansion would
+    // silently overwrite again for a swept sim.shards — refuse rather than
+    // let the flag claim an engine choice it cannot deliver.
+    for (const auto& axis : spec.axes) {
+      for (const auto& entry : axis.entries) {
+        if (entry.field == "sim.shards") {
+          throw std::invalid_argument(
+              "--sim-shards conflicts with the scenario's 'sim.shards' sweep axis");
+        }
+      }
+    }
+    spec.base.sim.shards = sim_shards;
+  }
   eval::SweepProgress progress;
   if (!quiet) {
     progress = [](int done, int total, const eval::SweepPointResult& point, double secs) {

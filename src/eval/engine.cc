@@ -255,7 +255,10 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
                                       static_cast<std::uint64_t>(cell.topo) * 262144 +
                                       static_cast<std::uint64_t>(cell.routing) * 4096 +
                                       static_cast<std::uint64_t>(k));
-          auto res = sim::run_workload(topology(), tm, s.sim, routes, sim_rng);
+          // Like the MCF cells, packet-sim cells lend the batch's idle
+          // workers to their own engine (the sharded event loop when
+          // s.sim.shards > 1).
+          auto res = sim::run_workload(topology(), tm, s.sim, routes, sim_rng, budget);
           emit("sim_goodput", k, res.mean_flow_throughput);
           emit("sim_fairness", k, res.jain_fairness);
           emit("sim_drops", k, static_cast<double>(res.packet_drops));

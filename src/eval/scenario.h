@@ -59,6 +59,12 @@ struct TopologySpec {
   int network_degree = 0;
   double local_fraction = 0.5;
 
+  // jellyfish-incr: built at `grow_from` switches, then incrementally
+  // expanded (§4.2) in batches of `grow_step` up to `switches` (plus ports
+  // and network_degree above; servers per switch = ports - network_degree).
+  int grow_from = 0;
+  int grow_step = 1;
+
   const std::string& display() const { return label.empty() ? family : label; }
 };
 

@@ -160,6 +160,8 @@ Value topology_to_json(const TopologySpec& t) {
   o.emplace_back("switches_per_container", t.switches_per_container);
   o.emplace_back("network_degree", t.network_degree);
   o.emplace_back("local_fraction", t.local_fraction);
+  o.emplace_back("grow_from", t.grow_from);
+  o.emplace_back("grow_step", t.grow_step);
   return Value(std::move(o));
 }
 
@@ -178,6 +180,8 @@ TopologySpec topology_from_json(const Value& v, const std::string& ctx) {
   r.read("switches_per_container", t.switches_per_container);
   r.read("network_degree", t.network_degree);
   r.read("local_fraction", t.local_fraction);
+  r.read("grow_from", t.grow_from);
+  r.read("grow_step", t.grow_step);
   r.done();
   return t;
 }
@@ -283,6 +287,7 @@ Value sim_to_json(const sim::WorkloadConfig& w) {
   o.emplace_back("transport", transport_name(w.transport));
   o.emplace_back("parallel_connections", w.parallel_connections);
   o.emplace_back("subflows", w.subflows);
+  o.emplace_back("shards", w.shards);
   o.emplace_back("warmup_ns", w.warmup_ns);
   o.emplace_back("measure_ns", w.measure_ns);
   o.emplace_back("start_jitter_ns", w.start_jitter_ns);
@@ -298,6 +303,7 @@ sim::WorkloadConfig sim_from_json(const Value& v, const std::string& ctx) {
   }
   r.read("parallel_connections", w.parallel_connections);
   r.read("subflows", w.subflows);
+  r.read("shards", w.shards);
   r.read("warmup_ns", w.warmup_ns);
   r.read("measure_ns", w.measure_ns);
   r.read("start_jitter_ns", w.start_jitter_ns);

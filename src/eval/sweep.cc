@@ -60,6 +60,10 @@ bool set_topology_field(TopologySpec& t, std::string_view member, const AxisEntr
     t.network_degree = as_count_value(entry, v);
   } else if (member == "local_fraction") {
     t.local_fraction = v;
+  } else if (member == "grow_from") {
+    t.grow_from = as_count_value(entry, v);
+  } else if (member == "grow_step") {
+    t.grow_step = as_count_value(entry, v);
   } else {
     return false;
   }
@@ -80,6 +84,8 @@ const std::vector<std::string>& sweep_fields() {
       "topology.switches_per_container",
       "topology.network_degree",
       "topology.local_fraction",
+      "topology.grow_from",
+      "topology.grow_step",
       "routing.width",
       "traffic.demand",
       "traffic.num_hot",
@@ -87,6 +93,7 @@ const std::vector<std::string>& sweep_fields() {
       "samples_per_seed",
       "sim.parallel_connections",
       "sim.subflows",
+      "sim.shards",
   };
   return fields;
 }
@@ -121,6 +128,8 @@ void apply_sweep_value(Scenario& s, const AxisEntry& entry, double value) {
     s.sim.parallel_connections = as_count_value(entry, value);
   } else if (f == "sim.subflows") {
     s.sim.subflows = as_count_value(entry, value);
+  } else if (f == "sim.shards") {
+    s.sim.shards = as_count_value(entry, value);
   } else {
     check(false, "unknown sweep field '" + f + "'");
   }

@@ -1,5 +1,6 @@
 #include "eval/topology_factory.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -33,6 +34,32 @@ const std::map<std::string, TopologyFactory>& builtins() {
                "jellyfish topology: need switches >= 2 and ports >= 1");
          return topo::build_jellyfish_with_servers(spec.switches, spec.ports, spec.servers,
                                                    rng);
+       }},
+      {"jellyfish-incr",
+       [](const TopologySpec& spec, Rng& rng) {
+         // Incrementally grown Jellyfish (§4.2): the Fig. 5/6 "expanded"
+         // rows. Built from scratch at grow_from switches, then expanded in
+         // batches of grow_step until the target size, all from one rng
+         // stream — the construction history the paper compares against
+         // from-scratch builds.
+         check(spec.grow_from >= 2, "jellyfish-incr topology: need grow_from >= 2");
+         check(spec.switches >= spec.grow_from,
+               "jellyfish-incr topology: need switches >= grow_from");
+         check(spec.grow_step >= 1, "jellyfish-incr topology: need grow_step >= 1");
+         check(spec.ports >= 1 && spec.network_degree >= 1 &&
+                   spec.network_degree <= spec.ports,
+               "jellyfish-incr topology: need 1 <= network_degree <= ports");
+         const int servers_per_switch = spec.ports - spec.network_degree;
+         auto topo = topo::build_jellyfish({.num_switches = spec.grow_from,
+                                            .ports_per_switch = spec.ports,
+                                            .network_degree = spec.network_degree},
+                                           rng);
+         while (topo.num_switches() < spec.switches) {
+           const int step = std::min(spec.grow_step, spec.switches - topo.num_switches());
+           topo::expand_add_switches(topo, step, spec.ports, spec.network_degree,
+                                     servers_per_switch, rng);
+         }
+         return topo;
        }},
       {"fattree",
        [](const TopologySpec& spec, Rng&) {

@@ -29,16 +29,32 @@ int d_value(const Graph& g, const std::vector<bool>& side, NodeId v) {
 
 }  // namespace
 
+namespace {
+
+// One KL run with |A| pinned to `target_a` (the classic algorithm keeps the
+// side sizes fixed because it only ever swaps pairs).
+BisectionResult kl_run(const Graph& g, Rng& rng, int target_a);
+
+}  // namespace
+
 BisectionResult kernighan_lin_bisection(const Graph& g, Rng& rng) {
   const int n = g.num_nodes();
   check(n >= 2, "kernighan_lin_bisection: need >= 2 nodes");
+  return kl_run(g, rng, (n + 1) / 2);
+}
 
-  // Random balanced start.
+namespace {
+
+BisectionResult kl_run(const Graph& g, Rng& rng, int target_a) {
+  const int n = g.num_nodes();
+  ensure(target_a >= 1 && target_a < n, "kl_run: bad target size");
+
+  // Random start with |A| = target_a.
   std::vector<NodeId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   rng.shuffle(order);
   std::vector<bool> side(static_cast<std::size_t>(n), false);
-  for (int i = 0; i < (n + 1) / 2; ++i) side[order[i]] = true;
+  for (int i = 0; i < target_a; ++i) side[order[i]] = true;
 
   // KL passes: greedily swap the best (a, b) pair, lock both, keep the best
   // prefix of swaps; repeat while a pass improves the cut.
@@ -51,7 +67,7 @@ BisectionResult kernighan_lin_bisection(const Graph& g, Rng& rng) {
 
     std::vector<std::pair<NodeId, NodeId>> swaps;
     std::vector<int> gains;
-    const int pairs = n / 2;
+    const int pairs = std::min(target_a, n - target_a);
     for (int step = 0; step < pairs; ++step) {
       int best_gain = std::numeric_limits<int>::min();
       NodeId best_a = -1, best_b = -1;
@@ -103,6 +119,8 @@ BisectionResult kernighan_lin_bisection(const Graph& g, Rng& rng) {
   return BisectionResult{side, cut_size(g, side)};
 }
 
+}  // namespace
+
 BisectionResult min_bisection_estimate(const Graph& g, Rng& rng, int restarts) {
   check(restarts >= 1, "min_bisection_estimate: restarts must be >= 1");
   BisectionResult best = kernighan_lin_bisection(g, rng);
@@ -111,6 +129,71 @@ BisectionResult min_bisection_estimate(const Graph& g, Rng& rng, int restarts) {
     if (r.cut_edges < best.cut_edges) best = std::move(r);
   }
   return best;
+}
+
+std::vector<int> balanced_partition(const Graph& g, int k, Rng& rng, int restarts) {
+  const int n = g.num_nodes();
+  check(n >= 1, "balanced_partition: empty graph");
+  check(k >= 1, "balanced_partition: k must be >= 1");
+  check(restarts >= 1, "balanced_partition: restarts must be >= 1");
+  k = std::min(k, n);
+  std::vector<int> part(static_cast<std::size_t>(n), 0);
+  if (k == 1) return part;
+
+  struct Job {
+    std::vector<NodeId> nodes;  // global ids, subgraph membership
+    int parts;
+    int base;  // first part id assigned to this subgraph
+  };
+  std::vector<Job> stack;
+  {
+    std::vector<NodeId> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    stack.push_back({std::move(all), k, 0});
+  }
+
+  while (!stack.empty()) {
+    Job job = std::move(stack.back());
+    stack.pop_back();
+    const int nn = static_cast<int>(job.nodes.size());
+    if (job.parts == 1) {
+      for (NodeId v : job.nodes) part[static_cast<std::size_t>(v)] = job.base;
+      continue;
+    }
+    // Left takes kl of the parts and a proportional node share such that
+    // every final part ends up with floor(n/k) or floor(n/k)+1 nodes.
+    const int kl = job.parts / 2;
+    const int base_size = nn / job.parts;
+    const int bigs = nn % job.parts;
+    const int target_a = kl * base_size + std::min(bigs, kl);
+
+    // Induced subgraph with local ids in job.nodes order.
+    Graph sub(nn);
+    std::vector<int> local(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < nn; ++i) local[static_cast<std::size_t>(job.nodes[i])] = i;
+    for (int i = 0; i < nn; ++i) {
+      for (NodeId u : g.neighbors(job.nodes[static_cast<std::size_t>(i)])) {
+        const int j = local[static_cast<std::size_t>(u)];
+        if (j > i) sub.add_edge(i, j);
+      }
+    }
+
+    BisectionResult best = kl_run(sub, rng, target_a);
+    for (int r = 1; r < restarts; ++r) {
+      BisectionResult cand = kl_run(sub, rng, target_a);
+      if (cand.cut_edges < best.cut_edges) best = std::move(cand);
+    }
+
+    Job left{{}, kl, job.base};
+    Job right{{}, job.parts - kl, job.base + kl};
+    for (int i = 0; i < nn; ++i) {
+      (best.side[static_cast<std::size_t>(i)] ? left : right)
+          .nodes.push_back(job.nodes[static_cast<std::size_t>(i)]);
+    }
+    stack.push_back(std::move(right));
+    stack.push_back(std::move(left));
+  }
+  return part;
 }
 
 }  // namespace jf::graph

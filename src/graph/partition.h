@@ -26,4 +26,12 @@ BisectionResult kernighan_lin_bisection(const Graph& g, Rng& rng);
 // Best of `restarts` KL runs (smallest cut).
 BisectionResult min_bisection_estimate(const Graph& g, Rng& rng, int restarts);
 
+// Balanced k-way partition by recursive KL bisection: part[v] in [0, k),
+// part sizes differ by at most one, and each level splits an induced
+// subgraph with side sizes proportional to the part counts it feeds (so
+// odd k stays balanced). Deterministic given the rng state; used by the
+// sharded packet simulator to carve the switch set into per-shard event
+// domains with few cut links. k is clamped to [1, num_nodes].
+std::vector<int> balanced_partition(const Graph& g, int k, Rng& rng, int restarts = 3);
+
 }  // namespace jf::graph

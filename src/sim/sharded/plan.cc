@@ -1,0 +1,23 @@
+#include "sim/sharded/plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/partition.h"
+
+namespace jf::sim::sharded {
+
+ShardPlan build_shard_plan(const topo::Topology& topo, int shards, Rng rng, int restarts) {
+  check(shards >= 1, "build_shard_plan: shards must be >= 1");
+  ShardPlan plan;
+  plan.num_shards = std::max(1, std::min(shards, topo.num_switches()));
+  if (plan.num_shards <= 1) {
+    plan.switch_shard.assign(static_cast<std::size_t>(topo.num_switches()), 0);
+    return plan;
+  }
+  plan.switch_shard =
+      graph::balanced_partition(topo.switches(), plan.num_shards, rng, restarts);
+  return plan;
+}
+
+}  // namespace jf::sim::sharded

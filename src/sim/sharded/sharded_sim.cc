@@ -1,0 +1,226 @@
+#include "sim/sharded/sharded_sim.h"
+
+#include <algorithm>
+
+#include "sim/event_loop.h"
+
+namespace jf::sim::sharded {
+
+Shard::Shard(ShardedSimulator& owner, int id)
+    : owner_(owner),
+      id_(id),
+      cfg_(owner.cfg_),
+      links_(owner.links_),
+      flows_(owner.flows_),
+      measure_start_(owner.measure_start_),
+      measure_end_(owner.measure_end_) {}
+
+void Shard::dispatch_arrival(Event&& ev) {
+  const Packet& pkt = ev.pkt;
+  const Subflow& sf = flows_[static_cast<std::size_t>(pkt.flow)]
+                          .subflows[static_cast<std::size_t>(pkt.subflow)];
+  const auto& path = pkt.is_ack ? sf.ack_path : sf.data_path;
+  int dest;
+  if (pkt.hop < static_cast<std::int16_t>(path.size())) {
+    dest = owner_.link_shard_[static_cast<std::size_t>(path[static_cast<std::size_t>(pkt.hop)])];
+  } else {
+    dest = pkt.is_ack ? owner_.flow_src_shard_[static_cast<std::size_t>(pkt.flow)]
+                      : owner_.flow_dst_shard_[static_cast<std::size_t>(pkt.flow)];
+  }
+  route(std::move(ev), dest);
+}
+
+void Shard::dispatch_loss(Event&& ev) {
+  route(std::move(ev), owner_.flow_src_shard_[static_cast<std::size_t>(ev.pkt.flow)]);
+}
+
+void Shard::route(Event&& ev, int dest) {
+  if (dest == id_) events_.push(std::move(ev));
+  else outbox_[static_cast<std::size_t>(dest)].push_back(std::move(ev));
+}
+
+void Shard::run_round(TimeNs horizon, TimeNs t_end) {
+  while (!events_.empty()) {
+    const Event& top = events_.top();
+    if (top.time >= horizon || top.time > t_end) break;
+    Event ev = top;
+    events_.pop();
+    ensure(ev.time >= now_, "run_round: time went backwards");
+    now_ = ev.time;
+    EngineOps<Shard>::handle(*this, ev);
+  }
+}
+
+ShardedSimulator::ShardedSimulator(SimConfig cfg, int num_shards) : cfg_(cfg) {
+  check(num_shards >= 1, "ShardedSimulator: need >= 1 shard");
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.emplace_back(*this, s);
+    shards_.back().outbox_.resize(static_cast<std::size_t>(num_shards));
+  }
+}
+
+int ShardedSimulator::add_link(int shard) {
+  return add_link(shard, cfg_.link_rate_bps, cfg_.link_delay_ns, cfg_.queue_capacity_pkts);
+}
+
+int ShardedSimulator::add_link(int shard, double rate_bps, TimeNs delay_ns,
+                               int queue_capacity) {
+  check(!started_, "add_link: simulation already started");
+  check(shard >= 0 && shard < num_shards(), "add_link: bad shard id");
+  check(rate_bps > 0 && delay_ns >= 0 && queue_capacity >= 1, "add_link: bad parameters");
+  links_.emplace_back(rate_bps, delay_ns, queue_capacity);
+  link_shard_.push_back(shard);
+  return static_cast<int>(links_.size()) - 1;
+}
+
+int ShardedSimulator::add_flow(int src_server, int dst_server, bool mptcp, int src_shard,
+                               int dst_shard) {
+  check(!started_, "add_flow: simulation already started");
+  check(src_shard >= 0 && src_shard < num_shards() && dst_shard >= 0 &&
+            dst_shard < num_shards(),
+        "add_flow: bad endpoint shard");
+  Flow f;
+  f.src_server = src_server;
+  f.dst_server = dst_server;
+  f.mptcp = mptcp;
+  flows_.push_back(std::move(f));
+  flow_src_shard_.push_back(src_shard);
+  flow_dst_shard_.push_back(dst_shard);
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+void ShardedSimulator::add_subflow(int flow, std::vector<int> data_path,
+                                   std::vector<int> ack_path, TimeNs start_time) {
+  check(!started_, "add_subflow: simulation already started");
+  check(flow >= 0 && flow < num_flows(), "add_subflow: bad flow id");
+  flows_[static_cast<std::size_t>(flow)].subflows.push_back(
+      make_subflow(links_, cfg_, std::move(data_path), std::move(ack_path), start_time));
+}
+
+void ShardedSimulator::set_measure_window(TimeNs start, TimeNs end) {
+  check(start >= 0 && end > start, "set_measure_window: bad window");
+  measure_start_ = start;
+  measure_end_ = end;
+}
+
+const Flow& ShardedSimulator::flow(int id) const {
+  check(id >= 0 && id < num_flows(), "flow: bad id");
+  return flows_[static_cast<std::size_t>(id)];
+}
+
+const Link& ShardedSimulator::link(int id) const {
+  check(id >= 0 && id < static_cast<int>(links_.size()), "link: bad id");
+  return links_[static_cast<std::size_t>(id)];
+}
+
+int ShardedSimulator::link_shard(int id) const {
+  check(id >= 0 && id < static_cast<int>(links_.size()), "link_shard: bad id");
+  return link_shard_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t ShardedSimulator::total_drops() const { return total_link_drops(links_); }
+
+double ShardedSimulator::normalized_goodput(int flow_id) const {
+  return normalized_goodput_of(cfg_, measure_start_, measure_end_, flow(flow_id));
+}
+
+TimeNs ShardedSimulator::lookahead_ns() const {
+  check(started_, "lookahead_ns: valid once run_until has been called");
+  return lookahead_ns_;
+}
+
+void ShardedSimulator::finalize() {
+  bool any_cut = false;
+  auto note_cut = [&](TimeNs latency) {
+    any_cut = true;
+    lookahead_ns_ = std::min(lookahead_ns_, latency);
+  };
+  for (int fid = 0; fid < num_flows(); ++fid) {
+    const int src = flow_src_shard_[static_cast<std::size_t>(fid)];
+    const int dst = flow_dst_shard_[static_cast<std::size_t>(fid)];
+    for (const Subflow& sf : flows_[static_cast<std::size_t>(fid)].subflows) {
+      // Senders and receivers enqueue into their first link with zero
+      // latency, so those links must be co-located with the endpoint.
+      check(link_shard_[static_cast<std::size_t>(sf.data_path.front())] == src,
+            "sharded run: a subflow's first data link must live in the sender's shard");
+      check(link_shard_[static_cast<std::size_t>(sf.ack_path.front())] == dst,
+            "sharded run: a subflow's first ack link must live in the receiver's shard");
+      // A cross-shard hand-off happens one wire delay after the transmitting
+      // (cut) link finished — including final delivery to the endpoint.
+      auto scan = [&](const std::vector<int>& path, int endpoint_shard) {
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          const int here = link_shard_[static_cast<std::size_t>(path[i])];
+          const int next = i + 1 < path.size()
+                               ? link_shard_[static_cast<std::size_t>(path[i + 1])]
+                               : endpoint_shard;
+          if (here != next) note_cut(links_[static_cast<std::size_t>(path[i])].delay_ns);
+        }
+      };
+      scan(sf.data_path, dst);
+      scan(sf.ack_path, src);
+      // A drop anywhere on the data path notifies the sender no earlier
+      // than the loss-feedback floor.
+      for (int l : sf.data_path) {
+        if (link_shard_[static_cast<std::size_t>(l)] != src) {
+          note_cut(cfg_.loss_feedback_floor_ns);
+          break;
+        }
+      }
+    }
+  }
+  check(!any_cut || lookahead_ns_ > 0,
+        "sharded run: a zero-latency cross-shard hand-off (cut link with delay 0, or "
+        "loss_feedback_floor_ns == 0 on a cross-shard data path) leaves no lookahead");
+
+  for (int fid = 0; fid < num_flows(); ++fid) {
+    auto& subflows = flows_[static_cast<std::size_t>(fid)].subflows;
+    for (std::size_t s = 0; s < subflows.size(); ++s) {
+      Subflow& sf = subflows[s];
+      Event ev;
+      ev.time = sf.start_time;
+      ev.order = make_order(subflow_order_src(fid, static_cast<int>(s)), sf.order_seq++);
+      ev.type = EventType::kFlowStart;
+      ev.a = fid;
+      ev.b = static_cast<std::int32_t>(s);
+      shards_[static_cast<std::size_t>(flow_src_shard_[static_cast<std::size_t>(fid)])]
+          .events_.push(std::move(ev));
+    }
+  }
+}
+
+void ShardedSimulator::run_until(TimeNs t_end, parallel::WorkBudget* budget) {
+  if (!started_) {
+    started_ = true;
+    finalize();
+  }
+  const int num = num_shards();
+  parallel::WorkerTeam team(budget, num - 1);
+  while (true) {
+    // Barrier section: deliver staged hand-offs in canonical shard order,
+    // then restart from the global minimum pending timestamp. (Mailboxes
+    // written during round k are only read here, after the round's join.)
+    for (int src = 0; src < num; ++src) {
+      auto& boxes = shards_[static_cast<std::size_t>(src)].outbox_;
+      for (int dst = 0; dst < num; ++dst) {
+        for (Event& ev : boxes[static_cast<std::size_t>(dst)]) {
+          shards_[static_cast<std::size_t>(dst)].events_.push(std::move(ev));
+        }
+        boxes[static_cast<std::size_t>(dst)].clear();
+      }
+    }
+    TimeNs t = kMaxTime;
+    for (const Shard& sh : shards_) {
+      if (!sh.events_.empty()) t = std::min(t, sh.events_.top().time);
+    }
+    if (t == kMaxTime || t > t_end) break;
+    const TimeNs horizon = lookahead_ns_ >= kMaxTime - t ? kMaxTime : t + lookahead_ns_;
+    ++rounds_;
+    team.run(num, [&](int s, int) {
+      shards_[static_cast<std::size_t>(s)].run_round(horizon, t_end);
+    });
+  }
+  for (Shard& sh : shards_) sh.now_ = std::max(sh.now_, t_end);
+}
+
+}  // namespace jf::sim::sharded

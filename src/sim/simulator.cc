@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/transport_ops.h"
+#include "sim/event_loop.h"
 
 namespace jf::sim {
 
@@ -13,11 +13,7 @@ int Simulator::add_link() {
 int Simulator::add_link(double rate_bps, TimeNs delay_ns, int queue_capacity) {
   check(!started_, "add_link: simulation already started");
   check(rate_bps > 0 && delay_ns >= 0 && queue_capacity >= 1, "add_link: bad parameters");
-  Link l;
-  l.rate_bps = rate_bps;
-  l.delay_ns = delay_ns;
-  l.queue_capacity = queue_capacity;
-  links_.push_back(std::move(l));
+  links_.emplace_back(rate_bps, delay_ns, queue_capacity);
   return static_cast<int>(links_.size()) - 1;
 }
 
@@ -35,18 +31,8 @@ void Simulator::add_subflow(int flow, std::vector<int> data_path, std::vector<in
                             TimeNs start_time) {
   check(!started_, "add_subflow: simulation already started");
   check(flow >= 0 && flow < num_flows(), "add_subflow: bad flow id");
-  check(!data_path.empty() && !ack_path.empty(), "add_subflow: empty path");
-  for (int l : data_path) check(l >= 0 && l < static_cast<int>(links_.size()),
-                                "add_subflow: bad data link");
-  for (int l : ack_path) check(l >= 0 && l < static_cast<int>(links_.size()),
-                               "add_subflow: bad ack link");
-  Subflow sf;
-  sf.data_path = std::move(data_path);
-  sf.ack_path = std::move(ack_path);
-  sf.start_time = start_time;
-  sf.cwnd = cfg_.initial_cwnd_pkts;
-  sf.rto_ns = cfg_.initial_rto_ns;
-  flows_[flow].subflows.push_back(std::move(sf));
+  flows_[static_cast<std::size_t>(flow)].subflows.push_back(
+      make_subflow(links_, cfg_, std::move(data_path), std::move(ack_path), start_time));
 }
 
 void Simulator::set_measure_window(TimeNs start, TimeNs end) {
@@ -57,131 +43,34 @@ void Simulator::set_measure_window(TimeNs start, TimeNs end) {
 
 const Flow& Simulator::flow(int id) const {
   check(id >= 0 && id < num_flows(), "flow: bad id");
-  return flows_[id];
+  return flows_[static_cast<std::size_t>(id)];
 }
 
 const Link& Simulator::link(int id) const {
   check(id >= 0 && id < static_cast<int>(links_.size()), "link: bad id");
-  return links_[id];
+  return links_[static_cast<std::size_t>(id)];
 }
 
-std::int64_t Simulator::total_drops() const {
-  std::int64_t total = 0;
-  for (const auto& l : links_) total += l.drops;
-  return total;
-}
+std::int64_t Simulator::total_drops() const { return total_link_drops(links_); }
 
 double Simulator::normalized_goodput(int flow_id) const {
-  check(measure_end_ > measure_start_, "normalized_goodput: no measurement window set");
-  const Flow& f = flow(flow_id);
-  const double seconds = static_cast<double>(measure_end_ - measure_start_) / 1e9;
-  return static_cast<double>(f.delivered_bytes_measured) * 8.0 / seconds / cfg_.link_rate_bps;
-}
-
-void Simulator::schedule(Event ev) {
-  ev.order = order_counter_++;
-  events_.push(std::move(ev));
-}
-
-void Simulator::enqueue_packet(int link_id, const Packet& pkt) {
-  Link& l = links_[link_id];
-  if (static_cast<int>(l.queue.size()) >= l.queue_capacity) {
-    ++l.drops;
-    if (!pkt.is_ack) {
-      // Oracle SACK (DESIGN.md §3): surface the loss to the sender. Real
-      // SACK feedback takes about one round trip (the following segment's
-      // dupacks), so the notification is delayed by the subflow's smoothed
-      // RTT — this also keeps a dropped retransmission from livelocking the
-      // event loop at one timestamp.
-      const auto& sf = flows_[pkt.flow].subflows[pkt.subflow];
-      const TimeNs feedback =
-          std::max<TimeNs>(cfg_.loss_feedback_floor_ns, static_cast<TimeNs>(sf.srtt_ns));
-      Event ev;
-      ev.time = now_ + feedback;
-      ev.type = EventType::kLossNotify;
-      ev.pkt = pkt;
-      schedule(std::move(ev));
-    }
-    return;
-  }
-  l.queue.push_back(pkt);
-  if (!l.busy) start_transmission(link_id);
-}
-
-void Simulator::start_transmission(int link_id) {
-  Link& l = links_[link_id];
-  ensure(!l.queue.empty(), "start_transmission: empty queue");
-  l.busy = true;
-  const Packet& head = l.queue.front();
-  const TimeNs tx = static_cast<TimeNs>(static_cast<double>(head.size_bytes) * 8.0 * 1e9 /
-                                        l.rate_bps);
-  Event ev;
-  ev.time = now_ + tx;
-  ev.type = EventType::kLinkDone;
-  ev.a = link_id;
-  schedule(std::move(ev));
-}
-
-void Simulator::forward_or_deliver(Packet pkt) {
-  Flow& f = flows_[pkt.flow];
-  Subflow& sf = f.subflows[pkt.subflow];
-  const auto& path = pkt.is_ack ? sf.ack_path : sf.data_path;
-  if (pkt.hop < static_cast<std::int16_t>(path.size())) {
-    const int next_link = path[pkt.hop];
-    ++pkt.hop;
-    enqueue_packet(next_link, pkt);
-    return;
-  }
-  // Reached the endpoint: hand to the transport layer.
-  if (pkt.is_ack) TransportOps::on_ack(*this, pkt);
-  else TransportOps::on_data(*this, pkt);
-}
-
-void Simulator::handle(const Event& ev) {
-  switch (ev.type) {
-    case EventType::kLinkDone: {
-      Link& l = links_[ev.a];
-      ensure(l.busy && !l.queue.empty(), "kLinkDone: inconsistent link state");
-      Packet pkt = l.queue.front();
-      l.queue.pop_front();
-      ++l.tx_packets;
-      l.tx_bytes += pkt.size_bytes;
-      // Propagate to the next hop after the wire delay.
-      Event arrive;
-      arrive.time = now_ + l.delay_ns;
-      arrive.type = EventType::kArrive;
-      arrive.pkt = pkt;
-      schedule(std::move(arrive));
-      if (!l.queue.empty()) start_transmission(ev.a);
-      else l.busy = false;
-      break;
-    }
-    case EventType::kArrive:
-      forward_or_deliver(ev.pkt);
-      break;
-    case EventType::kTimeout:
-      TransportOps::on_timeout(*this, ev.a, ev.b, ev.gen);
-      break;
-    case EventType::kFlowStart:
-      TransportOps::try_send(*this, ev.a, ev.b);
-      break;
-    case EventType::kLossNotify:
-      TransportOps::on_loss(*this, ev.pkt);
-      break;
-  }
+  return normalized_goodput_of(cfg_, measure_start_, measure_end_, flow(flow_id));
 }
 
 void Simulator::run_until(TimeNs t_end) {
   if (!started_) {
     started_ = true;
     for (int fid = 0; fid < num_flows(); ++fid) {
-      for (std::size_t s = 0; s < flows_[fid].subflows.size(); ++s) {
+      auto& subflows = flows_[static_cast<std::size_t>(fid)].subflows;
+      for (std::size_t s = 0; s < subflows.size(); ++s) {
+        Subflow& sf = subflows[s];
         Event ev;
-        ev.time = flows_[fid].subflows[s].start_time;
+        ev.time = sf.start_time;
+        ev.order = make_order(subflow_order_src(fid, static_cast<int>(s)), sf.order_seq++);
         ev.type = EventType::kFlowStart;
         ev.a = fid;
         ev.b = static_cast<std::int32_t>(s);
-        schedule(std::move(ev));
+        events_.push(std::move(ev));
       }
     }
   }
@@ -190,7 +79,7 @@ void Simulator::run_until(TimeNs t_end) {
     events_.pop();
     ensure(ev.time >= now_, "run_until: time went backwards");
     now_ = ev.time;
-    handle(ev);
+    EngineOps<Simulator>::handle(*this, ev);
   }
   now_ = std::max(now_, t_end);
 }

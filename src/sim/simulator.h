@@ -11,114 +11,22 @@
 // The Simulator is topology-agnostic: callers create directed links and
 // flows whose subflows carry explicit link-id paths (data direction and ACK
 // return direction). sim::workload builds these from a topo::Topology.
+//
+// This is the serial reference engine: one heap, events processed in the
+// canonical (time, EventOrder) order defined in sim/core.h. The sharded
+// engine (sim/sharded/sharded_sim.h) executes the same mechanics — shared
+// via EngineOps/TransportOps — over partitioned link sets and produces
+// bit-identical results.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <queue>
-#include <set>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/core.h"
 
 namespace jf::sim {
-
-using TimeNs = std::int64_t;
-
-inline constexpr TimeNs kMicrosecond = 1'000;
-inline constexpr TimeNs kMillisecond = 1'000'000;
-
-struct SimConfig {
-  double link_rate_bps = 1e9;       // every link, including server NICs
-  TimeNs link_delay_ns = 5'000;     // propagation + switching latency per hop
-  // Queue depth and min RTO are coupled: the worst-case per-path queueing
-  // delay (hops * depth * serialization) must stay below min_rto or senders
-  // take spurious timeouts. 64 packets at 1 Gbps drains in 0.77 ms.
-  int queue_capacity_pkts = 64;
-  int payload_bytes = 1500;         // data packet size (MTU-sized, headers folded in)
-  int ack_bytes = 40;
-  double initial_cwnd_pkts = 2.0;
-  TimeNs min_rto_ns = 8 * kMillisecond;
-  TimeNs initial_rto_ns = 16 * kMillisecond;
-  TimeNs max_rto_ns = 128 * kMillisecond;
-  // Minimum latency of loss feedback (oracle-SACK notification); the
-  // effective delay is max(this, subflow srtt) ~ one round trip.
-  TimeNs loss_feedback_floor_ns = 50 * kMicrosecond;
-};
-
-// A packet in flight. Packets are source-routed: `hop` indexes into the
-// owning subflow's data or ACK path.
-struct Packet {
-  std::int32_t flow = -1;
-  std::int16_t subflow = 0;
-  std::int16_t hop = 0;
-  bool is_ack = false;
-  std::int32_t seq = 0;       // packet-number sequence space
-  std::int32_t size_bytes = 0;
-  TimeNs ts = 0;              // sender timestamp, echoed in ACKs for RTT
-};
-
-// One TCP (sub)connection: sender and receiver state plus its pinned paths.
-struct Subflow {
-  std::vector<int> data_path;  // directed link ids, src host -> dst host
-  std::vector<int> ack_path;   // directed link ids, dst host -> src host
-  TimeNs start_time = 0;
-
-  // --- sender ---
-  double cwnd = 2.0;           // packets
-  double ssthresh = 1e9;
-  std::int32_t snd_next = 0;   // next new sequence to send
-  std::int32_t snd_una = 0;    // lowest unacknowledged sequence
-  // Sequences reported lost (SACK scoreboard) and not yet retransmitted.
-  // Loss detection is oracle-precise (the simulator signals each dropped
-  // data packet to its sender), which reproduces the macroscopic behavior
-  // of SACK TCP: exactly the lost segments are resent, with one window
-  // reduction per flight of data. See DESIGN.md §3.
-  std::set<std::int32_t> lost_out;
-  // One-window-reduction-per-flight guard: the next reduction is allowed
-  // only once the cumulative ACK passes the frontier recorded at the last
-  // reduction (RFC 6675's NewReno-style recovery episode boundary).
-  std::int32_t recover = -1;
-  double srtt_ns = 0.0;
-  double rttvar_ns = 0.0;
-  TimeNs rto_ns = 0;
-  // Lazy retransmission timer: the deadline slides forward on new ACKs; a
-  // fired event that finds now < deadline simply reschedules itself, so at
-  // most one timeout event per subflow is ever in the heap.
-  bool timer_armed = false;
-  TimeNs timer_deadline = 0;
-  std::uint32_t timer_gen = 0;
-  std::int64_t packets_sent = 0;
-  std::int64_t retransmits = 0;
-  std::int64_t timeouts = 0;
-
-  // --- receiver ---
-  std::int32_t rcv_next = 0;
-  std::set<std::int32_t> ooo;  // out-of-order packets buffered for reassembly
-};
-
-// A transport-level flow between two servers; MPTCP flows own several
-// coupled subflows, plain TCP flows own exactly one.
-struct Flow {
-  int src_server = -1;
-  int dst_server = -1;
-  bool mptcp = false;  // couple subflow window increases with LIA
-  std::vector<Subflow> subflows;
-  std::int64_t delivered_bytes_measured = 0;  // in-order payload in the window
-  std::int64_t delivered_bytes_total = 0;
-};
-
-// One directed link: fixed rate, propagation delay, drop-tail queue.
-struct Link {
-  double rate_bps = 1e9;
-  TimeNs delay_ns = 1'000;
-  int queue_capacity = 64;
-  std::deque<Packet> queue;
-  bool busy = false;
-  std::int64_t drops = 0;
-  std::int64_t tx_packets = 0;
-  std::int64_t tx_bytes = 0;
-};
 
 class Simulator {
  public:
@@ -154,45 +62,23 @@ class Simulator {
   double normalized_goodput(int flow_id) const;
 
  private:
+  template <class Engine>
   friend struct TransportOps;  // transport logic lives in tcp.cc
+  template <class Engine>
+  friend struct EngineOps;  // link mechanics live in event_loop.h
 
-  enum class EventType : std::uint8_t {
-    kLinkDone,
-    kArrive,
-    kTimeout,
-    kFlowStart,
-    kLossNotify,  // a queue dropped a data packet; tell its sender (oracle SACK)
-  };
-
-  struct Event {
-    TimeNs time = 0;
-    std::uint64_t order = 0;  // FIFO tiebreak for equal timestamps
-    EventType type = EventType::kArrive;
-    std::int32_t a = -1;      // link id (kLinkDone) or flow id (kTimeout/kFlowStart)
-    std::int32_t b = -1;      // subflow index for kTimeout/kFlowStart
-    std::uint32_t gen = 0;    // timer generation for kTimeout
-    Packet pkt;               // payload for kArrive
-  };
-
-  struct EventAfter {
-    bool operator()(const Event& x, const Event& y) const {
-      if (x.time != y.time) return x.time > y.time;
-      return x.order > y.order;
-    }
-  };
-
-  void schedule(Event ev);
-  void enqueue_packet(int link_id, const Packet& pkt);
-  void start_transmission(int link_id);
-  void handle(const Event& ev);
-  void forward_or_deliver(Packet pkt);
+  // Event routing hooks (see sim/event_loop.h): in the serial engine every
+  // destination is the one global heap.
+  void schedule_self(Event&& ev) { events_.push(std::move(ev)); }
+  void dispatch_arrival(Event&& ev) { events_.push(std::move(ev)); }
+  void dispatch_loss(Event&& ev) { events_.push(std::move(ev)); }
+  void schedule_transport(Event&& ev) { events_.push(std::move(ev)); }
 
   SimConfig cfg_;
   std::vector<Link> links_;
   std::vector<Flow> flows_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   TimeNs now_ = 0;
-  std::uint64_t order_counter_ = 0;
   TimeNs measure_start_ = 0;
   TimeNs measure_end_ = 0;
   bool started_ = false;

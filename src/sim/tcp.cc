@@ -2,6 +2,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "sim/event_loop.h"
+#include "sim/sharded/sharded_sim.h"
 #include "sim/simulator.h"
 #include "sim/transport_ops.h"
 
@@ -12,7 +14,8 @@ constexpr double kMinSsthresh = 2.0;
 constexpr double kFallbackRttNs = 100.0 * kMicrosecond;
 }  // namespace
 
-double TransportOps::increase_per_ack(const Flow& f, const Subflow& sf) {
+template <class Engine>
+double TransportOps<Engine>::increase_per_ack(const Flow& f, const Subflow& sf) {
   if (!f.mptcp || f.subflows.size() == 1) {
     return 1.0 / std::max(1.0, sf.cwnd);  // Reno: one packet per RTT
   }
@@ -32,7 +35,8 @@ double TransportOps::increase_per_ack(const Flow& f, const Subflow& sf) {
   return std::min(alpha / total, 1.0 / std::max(1.0, sf.cwnd));
 }
 
-void TransportOps::update_rtt(const Simulator& sim, Subflow& sf, std::int64_t sample_ns) {
+template <class Engine>
+void TransportOps<Engine>::update_rtt(const Engine& sim, Subflow& sf, std::int64_t sample_ns) {
   if (sample_ns <= 0) return;
   const double r = static_cast<double>(sample_ns);
   if (sf.srtt_ns <= 0) {
@@ -46,10 +50,11 @@ void TransportOps::update_rtt(const Simulator& sim, Subflow& sf, std::int64_t sa
   sf.rto_ns = std::clamp(static_cast<TimeNs>(rto), sim.cfg_.min_rto_ns, sim.cfg_.max_rto_ns);
 }
 
-void TransportOps::send_data(Simulator& sim, int flow, int subflow, std::int32_t seq,
-                             bool retransmit) {
-  Flow& f = sim.flows_[flow];
-  Subflow& sf = f.subflows[subflow];
+template <class Engine>
+void TransportOps<Engine>::send_data(Engine& sim, int flow, int subflow, std::int32_t seq,
+                                     bool retransmit) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(subflow)];
   Packet pkt;
   pkt.flow = flow;
   pkt.subflow = static_cast<std::int16_t>(subflow);
@@ -60,12 +65,13 @@ void TransportOps::send_data(Simulator& sim, int flow, int subflow, std::int32_t
   pkt.ts = sim.now_;
   ++sf.packets_sent;
   if (retransmit) ++sf.retransmits;
-  sim.enqueue_packet(sf.data_path.front(), pkt);
+  EngineOps<Engine>::enqueue_packet(sim, sf.data_path.front(), pkt);
 }
 
-void TransportOps::send_ack(Simulator& sim, const Packet& data) {
-  Flow& f = sim.flows_[data.flow];
-  Subflow& sf = f.subflows[data.subflow];
+template <class Engine>
+void TransportOps<Engine>::send_ack(Engine& sim, const Packet& data) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(data.flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(data.subflow)];
   Packet ack;
   ack.flow = data.flow;
   ack.subflow = data.subflow;
@@ -74,12 +80,13 @@ void TransportOps::send_ack(Simulator& sim, const Packet& data) {
   ack.seq = sf.rcv_next;  // cumulative
   ack.size_bytes = sim.cfg_.ack_bytes;
   ack.ts = data.ts;  // echo the sender timestamp for RTT sampling
-  sim.enqueue_packet(sf.ack_path.front(), ack);
+  EngineOps<Engine>::enqueue_packet(sim, sf.ack_path.front(), ack);
 }
 
-void TransportOps::arm_timer(Simulator& sim, int flow, int subflow, bool rearm) {
-  Flow& f = sim.flows_[flow];
-  Subflow& sf = f.subflows[subflow];
+template <class Engine>
+void TransportOps<Engine>::arm_timer(Engine& sim, int flow, int subflow, bool rearm) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(subflow)];
   if (sf.snd_una >= sf.snd_next) {
     // Nothing outstanding; invalidate any pending timer.
     ++sf.timer_gen;
@@ -90,18 +97,20 @@ void TransportOps::arm_timer(Simulator& sim, int flow, int subflow, bool rearm) 
   if (sf.timer_armed) return;  // the in-flight event will chase the deadline
   ++sf.timer_gen;
   sf.timer_armed = true;
-  Simulator::Event ev;
+  Event ev;
   ev.time = sf.timer_deadline;
-  ev.type = Simulator::EventType::kTimeout;
+  ev.order = make_order(subflow_order_src(flow, subflow), sf.order_seq++);
+  ev.type = EventType::kTimeout;
   ev.a = flow;
   ev.b = subflow;
   ev.gen = sf.timer_gen;
-  sim.schedule(std::move(ev));
+  sim.schedule_transport(std::move(ev));
 }
 
-void TransportOps::try_send(Simulator& sim, int flow, int subflow) {
-  Flow& f = sim.flows_[flow];
-  Subflow& sf = f.subflows[subflow];
+template <class Engine>
+void TransportOps<Engine>::try_send(Engine& sim, int flow, int subflow) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(subflow)];
   const auto window = static_cast<std::int32_t>(std::max(1.0, std::floor(sf.cwnd)));
   // Retransmissions are exempt from the window gate (fast-retransmit
   // semantics): everything past the hole is parked in the receiver's
@@ -124,9 +133,10 @@ void TransportOps::try_send(Simulator& sim, int flow, int subflow) {
   arm_timer(sim, flow, subflow, /*rearm=*/false);
 }
 
-void TransportOps::on_data(Simulator& sim, const Packet& pkt) {
-  Flow& f = sim.flows_[pkt.flow];
-  Subflow& sf = f.subflows[pkt.subflow];
+template <class Engine>
+void TransportOps<Engine>::on_data(Engine& sim, const Packet& pkt) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(pkt.flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(pkt.subflow)];
   if (pkt.seq == sf.rcv_next) {
     std::int32_t advanced = 1;
     ++sf.rcv_next;
@@ -149,9 +159,10 @@ void TransportOps::on_data(Simulator& sim, const Packet& pkt) {
   send_ack(sim, pkt);
 }
 
-void TransportOps::on_ack(Simulator& sim, const Packet& pkt) {
-  Flow& f = sim.flows_[pkt.flow];
-  Subflow& sf = f.subflows[pkt.subflow];
+template <class Engine>
+void TransportOps<Engine>::on_ack(Engine& sim, const Packet& pkt) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(pkt.flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(pkt.subflow)];
   const std::int32_t ack = pkt.seq;
 
   if (ack > sf.snd_una) {
@@ -179,9 +190,10 @@ void TransportOps::on_ack(Simulator& sim, const Packet& pkt) {
   // SACK; loss signaling arrives via on_loss instead.
 }
 
-void TransportOps::on_loss(Simulator& sim, const Packet& pkt) {
-  Flow& f = sim.flows_[pkt.flow];
-  Subflow& sf = f.subflows[pkt.subflow];
+template <class Engine>
+void TransportOps<Engine>::on_loss(Engine& sim, const Packet& pkt) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(pkt.flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(pkt.subflow)];
   if (pkt.seq < sf.snd_una) return;  // stale: already cumulatively acked
   sf.lost_out.insert(pkt.seq);
   // One multiplicative decrease per flight of data (recovery episode).
@@ -194,19 +206,21 @@ void TransportOps::on_loss(Simulator& sim, const Packet& pkt) {
   arm_timer(sim, pkt.flow, pkt.subflow, /*rearm=*/false);
 }
 
-void TransportOps::on_timeout(Simulator& sim, int flow, int subflow, std::uint32_t gen) {
-  Flow& f = sim.flows_[flow];
-  Subflow& sf = f.subflows[subflow];
+template <class Engine>
+void TransportOps<Engine>::on_timeout(Engine& sim, int flow, int subflow, std::uint32_t gen) {
+  Flow& f = sim.flows_[static_cast<std::size_t>(flow)];
+  Subflow& sf = f.subflows[static_cast<std::size_t>(subflow)];
   if (!sf.timer_armed || gen != sf.timer_gen) return;  // stale timer
   if (sim.now_ < sf.timer_deadline) {
     // Deadline slid forward since this event was scheduled: chase it.
-    Simulator::Event ev;
+    Event ev;
     ev.time = sf.timer_deadline;
-    ev.type = Simulator::EventType::kTimeout;
+    ev.order = make_order(subflow_order_src(flow, subflow), sf.order_seq++);
+    ev.type = EventType::kTimeout;
     ev.a = flow;
     ev.b = subflow;
     ev.gen = sf.timer_gen;
-    sim.schedule(std::move(ev));
+    sim.schedule_transport(std::move(ev));
     return;
   }
   sf.timer_armed = false;
@@ -224,5 +238,9 @@ void TransportOps::on_timeout(Simulator& sim, int flow, int subflow, std::uint32
   ++sf.snd_next;
   arm_timer(sim, flow, subflow, /*rearm=*/true);
 }
+
+// One transport implementation, two execution engines.
+template struct TransportOps<Simulator>;
+template struct TransportOps<sharded::Shard>;
 
 }  // namespace jf::sim

@@ -1,50 +1,55 @@
-// Transport-layer state machines driven by the Simulator event loop.
+// Transport-layer state machines driven by the simulator event loops.
 //
 // TCP NewReno: slow start, congestion avoidance, fast retransmit/recovery
 // with partial-ACK retransmission, RFC 6298 RTO estimation. MPTCP: the same
 // machinery per subflow, with congestion-avoidance window increases coupled
 // across subflows by the LIA rule (Wischik et al., NSDI 2011) so a multipath
 // flow pools capacity instead of grabbing k independent fair shares.
-// Split from the Simulator core for readability; TransportOps is a friend
-// of Simulator and operates on its private state.
+//
+// Templated over the engine (the serial Simulator or one sharded::Shard) so
+// the serial and sharded execution engines share one transport
+// implementation — tcp.cc holds the definitions and instantiates both. The
+// engine interface TransportOps consumes is the one EngineOps documents
+// (sim/event_loop.h). Every method runs at one endpoint of the flow: on_data
+// at the destination, everything else at the source — the field-ownership
+// split Subflow documents, which is what lets the sharded engine place the
+// two endpoints in different shards.
 #pragma once
 
 #include <cstdint>
 
+#include "sim/core.h"
+
 namespace jf::sim {
 
-class Simulator;
-struct Packet;
-struct Flow;
-struct Subflow;
-
+template <class Engine>
 struct TransportOps {
   // Data packet reached its destination host: reassemble, count goodput,
   // emit a (possibly duplicate) cumulative ACK on the reverse path.
-  static void on_data(Simulator& sim, const Packet& pkt);
+  static void on_data(Engine& sim, const Packet& pkt);
 
   // Cumulative ACK reached the sender: advance the window, run NewReno.
-  static void on_ack(Simulator& sim, const Packet& pkt);
+  static void on_ack(Engine& sim, const Packet& pkt);
 
   // RTO fired (if the generation is current): back off and go-back-N.
-  static void on_timeout(Simulator& sim, int flow, int subflow, std::uint32_t gen);
+  static void on_timeout(Engine& sim, int flow, int subflow, std::uint32_t gen);
 
   // A queue dropped this data packet (oracle SACK): mark it lost, apply one
   // window reduction per flight, and refill the pipe.
-  static void on_loss(Simulator& sim, const Packet& pkt);
+  static void on_loss(Engine& sim, const Packet& pkt);
 
   // Pushes packets while the pipe has room: lost segments first (exact
   // retransmission), then new data.
-  static void try_send(Simulator& sim, int flow, int subflow);
+  static void try_send(Engine& sim, int flow, int subflow);
 
  private:
-  static void send_data(Simulator& sim, int flow, int subflow, std::int32_t seq,
+  static void send_data(Engine& sim, int flow, int subflow, std::int32_t seq,
                         bool retransmit);
-  static void send_ack(Simulator& sim, const Packet& data);
+  static void send_ack(Engine& sim, const Packet& data);
   // Arms the retransmission timer if data is outstanding and none is armed;
   // `rearm` forces a fresh deadline (used when cumulative ACKs advance).
-  static void arm_timer(Simulator& sim, int flow, int subflow, bool rearm);
-  static void update_rtt(const Simulator& sim, Subflow& sf, std::int64_t sample_ns);
+  static void arm_timer(Engine& sim, int flow, int subflow, bool rearm);
+  static void update_rtt(const Engine& sim, Subflow& sf, std::int64_t sample_ns);
   // Congestion-avoidance per-ACK window increment (Reno or LIA-coupled).
   static double increase_per_ack(const Flow& f, const Subflow& sf);
 };

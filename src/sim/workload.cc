@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "flow/maxmin.h"
+#include "sim/sharded/plan.h"
+#include "sim/sharded/sharded_sim.h"
 
 namespace jf::sim {
 
@@ -16,36 +18,66 @@ std::uint64_t flow_key(int tm_flow, int connection, int subflow) {
          (static_cast<std::uint64_t>(connection) << 8) ^ static_cast<std::uint64_t>(subflow);
 }
 
-}  // namespace
+// Stream tag for the shard plan's KL restarts. The plan draws from a fork
+// of the workload rng, so serial (shards == 1) and sharded runs consume
+// identical start-jitter sequences from the parent stream.
+constexpr std::uint64_t kShardPlanStream = 0x5bad'c0de;
 
-WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
-                            const WorkloadConfig& cfg, Rng& rng) {
-  auto routes = routing::make_path_provider(topo.switches(), cfg.routing);
-  return run_workload(topo, tm, cfg, *routes, rng);
+// Engine adapters: the workload build is identical for both engines except
+// for where links and flow endpoints are pinned.
+int place_link(Simulator& sim, int /*shard*/) { return sim.add_link(); }
+int place_link(sharded::ShardedSimulator& sim, int shard) { return sim.add_link(shard); }
+int place_flow(Simulator& sim, int src, int dst, bool mptcp, int /*src_shard*/,
+               int /*dst_shard*/) {
+  return sim.add_flow(src, dst, mptcp);
+}
+int place_flow(sharded::ShardedSimulator& sim, int src, int dst, bool mptcp, int src_shard,
+               int dst_shard) {
+  return sim.add_flow(src, dst, mptcp, src_shard, dst_shard);
+}
+void run_to(Simulator& sim, TimeNs t_end, parallel::WorkBudget* /*budget*/) {
+  sim.run_until(t_end);
+}
+void run_to(sharded::ShardedSimulator& sim, TimeNs t_end, parallel::WorkBudget* budget) {
+  sim.run_until(t_end, budget);
 }
 
-WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
-                            const WorkloadConfig& cfg, routing::PathProvider& routes,
-                            Rng& rng) {
-  check(!tm.flows.empty(), "run_workload: empty traffic matrix");
-  check(cfg.parallel_connections >= 1 && cfg.subflows >= 1, "run_workload: bad connection counts");
-
+// Builds links, flows, and subflows from the traffic matrix, runs the
+// simulation, and collects the result — one implementation for both
+// engines. `shard_of(switch)` pins links and endpoints (always 0 for the
+// serial engine, where the pin is ignored anyway).
+template <class SimT>
+WorkloadResult run_workload_on(SimT& sim, const topo::Topology& topo,
+                               const traffic::TrafficMatrix& tm, const WorkloadConfig& cfg,
+                               routing::PathProvider& routes, Rng& rng,
+                               const sharded::ShardPlan* plan, parallel::WorkBudget* budget) {
   const auto& g = topo.switches();
   flow::LinkIndex link_index(g);
-  Simulator sim(cfg.sim);
+  auto shard_of = [&](graph::NodeId sw) {
+    return plan ? plan->switch_shard[static_cast<std::size_t>(sw)] : 0;
+  };
 
   // Switch-to-switch links first, in LinkIndex order: edge {a<b} -> ids
-  // (base: a->b, base+1: b->a).
-  for (std::size_t i = 0; i < static_cast<std::size_t>(link_index.num_links()); ++i) {
-    sim.add_link();
+  // (base: a->b, base+1: b->a). A directed link is owned by its tail
+  // switch's shard — the transmitting side.
+  {
+    int next = 0;
+    for (const auto& e : g.edges()) {
+      const int ab = place_link(sim, shard_of(e.a));
+      const int ba = place_link(sim, shard_of(e.b));
+      ensure(ab == next && ba == next + 1, "run_workload: link ids out of sync");
+      next += 2;
+    }
+    ensure(next == link_index.num_links(), "run_workload: link count out of sync");
   }
-  // Server NIC links: uplink (server -> ToR) then downlink (ToR -> server).
+  // Server NIC links: uplink (server -> ToR) then downlink (ToR -> server),
+  // both pinned with the ToR.
   const int nic_base = link_index.num_links();
   auto uplink = [&](int server) { return nic_base + 2 * server; };
   auto downlink = [&](int server) { return nic_base + 2 * server + 1; };
   for (int s = 0; s < topo.num_servers(); ++s) {
-    sim.add_link();
-    sim.add_link();
+    place_link(sim, shard_of(topo.server_switch(s)));
+    place_link(sim, shard_of(topo.server_switch(s)));
   }
 
   // Builds the directed link-id chain for one switch path, bracketed by the
@@ -90,7 +122,8 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
 
     if (cfg.transport == Transport::kTcp) {
       for (int c = 0; c < cfg.parallel_connections; ++c) {
-        const int id = sim.add_flow(f.src_server, f.dst_server, /*mptcp=*/false);
+        const int id = place_flow(sim, f.src_server, f.dst_server, /*mptcp=*/false,
+                                  shard_of(ssw), shard_of(dsw));
         const auto p = pick(c, 0);
         std::vector<graph::NodeId> rev(p.rbegin(), p.rend());
         sim.add_subflow(id, build_link_path(f.src_server, f.dst_server, p),
@@ -100,7 +133,8 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
         connections.push_back({fi, id});
       }
     } else {
-      const int id = sim.add_flow(f.src_server, f.dst_server, /*mptcp=*/true);
+      const int id = place_flow(sim, f.src_server, f.dst_server, /*mptcp=*/true,
+                                shard_of(ssw), shard_of(dsw));
       for (int s = 0; s < cfg.subflows; ++s) {
         const auto p = pick(0, s);
         std::vector<graph::NodeId> rev(p.rbegin(), p.rend());
@@ -115,7 +149,7 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
 
   const TimeNs t_end = cfg.warmup_ns + cfg.measure_ns;
   sim.set_measure_window(cfg.warmup_ns, t_end);
-  sim.run_until(t_end);
+  run_to(sim, t_end, budget);
 
   WorkloadResult result;
   result.per_flow.assign(tm.flows.size(), 0.0);
@@ -134,10 +168,36 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
   return result;
 }
 
+}  // namespace
+
+WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                            const WorkloadConfig& cfg, Rng& rng,
+                            parallel::WorkBudget* budget) {
+  auto routes = routing::make_path_provider(topo.switches(), cfg.routing);
+  return run_workload(topo, tm, cfg, *routes, rng, budget);
+}
+
+WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+                            const WorkloadConfig& cfg, routing::PathProvider& routes,
+                            Rng& rng, parallel::WorkBudget* budget) {
+  check(!tm.flows.empty(), "run_workload: empty traffic matrix");
+  check(cfg.parallel_connections >= 1 && cfg.subflows >= 1, "run_workload: bad connection counts");
+  check(cfg.shards >= 1, "run_workload: shards must be >= 1");
+
+  if (cfg.shards > 1 && topo.num_switches() > 1) {
+    const sharded::ShardPlan plan =
+        sharded::build_shard_plan(topo, cfg.shards, rng.fork(kShardPlanStream));
+    sharded::ShardedSimulator sim(cfg.sim, plan.num_shards);
+    return run_workload_on(sim, topo, tm, cfg, routes, rng, &plan, budget);
+  }
+  Simulator sim(cfg.sim);
+  return run_workload_on(sim, topo, tm, cfg, routes, rng, nullptr, budget);
+}
+
 WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,
-                                        Rng& rng) {
+                                        Rng& rng, parallel::WorkBudget* budget) {
   auto tm = traffic::random_permutation(topo.num_servers(), rng);
-  return run_workload(topo, tm, cfg, rng);
+  return run_workload(topo, tm, cfg, rng, budget);
 }
 
 }  // namespace jf::sim

