@@ -1,77 +1,42 @@
 // Figure 8: failure resilience — normalized throughput vs. fraction of
 // randomly failed links.
 //
-// Same-equipment comparison at the paper's scale: fat-tree k = 12 (432
-// servers, 180 switches) vs. Jellyfish hosting 544 servers on identical
-// equipment. Paper shape: both degrade gracefully; Jellyfish degrades more
-// slowly despite carrying 26% more servers (capacity drop < 16% at 15%
-// failures).
-#include <iostream>
+// Ported onto the experiment farm: scenarios/fig08.json sweeps
+// topology.fail_links over {0 .. 0.25} for a same-equipment pair — fat-tree
+// k = 12 (432 servers, 180 switches) vs. Jellyfish hosting 544 servers on
+// identical equipment — under the failure-robust fluid throughput metric
+// (unreachable commodities count as zero-throughput flows instead of
+// zeroing the allocation). Paper shape: both degrade gracefully; Jellyfish
+// degrades more slowly despite carrying 26% more servers.
+#include <cmath>
+#include <ostream>
 
-#include "common/rng.h"
-#include "common/table.h"
-#include "flow/mcf.h"
-#include "flow/throughput.h"
-#include "graph/algorithms.h"
-#include "topo/fattree.h"
-#include "topo/jellyfish.h"
-#include "traffic/traffic.h"
+#include "eval/bench_driver.h"
 
 namespace {
 
-// Permutation throughput robust to disconnection: unreachable commodities
-// count as zero-throughput flows instead of zeroing the whole allocation.
-double failure_throughput(const jf::topo::Topology& topo, jf::Rng& rng) {
-  auto tm = jf::traffic::random_permutation(topo.num_servers(), rng);
-  auto commodities = jf::traffic::to_switch_commodities(topo, tm);
-  auto comp = jf::graph::connected_components(topo.switches());
-  double total_demand = 0.0, reachable_demand = 0.0;
-  std::vector<jf::traffic::Commodity> live;
-  for (const auto& c : commodities) {
-    total_demand += c.demand;
-    if (comp[c.src_switch] == comp[c.dst_switch]) {
-      live.push_back(c);
-      reachable_demand += c.demand;
-    }
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  if (report.points.size() < 2) return;
+  const auto& healthy = report.points.front();
+  const auto& worst = report.points.back();
+  const double jf0 = jf::eval::mean_for(healthy, "jellyfish", "throughput");
+  const double jf1 = jf::eval::mean_for(worst, "jellyfish", "throughput");
+  const double ft0 = jf::eval::mean_for(healthy, "fattree", "throughput");
+  const double ft1 = jf::eval::mean_for(worst, "fattree", "throughput");
+  if (std::isnan(jf0) || std::isnan(jf1) || std::isnan(ft0) || std::isnan(ft1) ||
+      jf0 <= 0.0 || ft0 <= 0.0) {
+    return;
   }
-  if (live.empty() || total_demand <= 0) return 0.0;
-  auto res = jf::flow::max_concurrent_flow(topo.switches(), live, {});
-  return std::min(1.0, res.lambda) * (reachable_demand / total_demand);
+  os << "\npaper shape: graceful degradation for both; at the highest failure "
+        "fraction jellyfish retains "
+     << 100.0 * jf1 / jf0 << "% of its healthy throughput vs the fat-tree's "
+     << 100.0 * ft1 / ft0 << "%, while hosting 26% more servers.\n";
 }
 
 }  // namespace
 
-int main() {
-  using namespace jf;
-  const int k = 12;
-  const int switches = topo::fattree_switches(k);  // 180
-  [[maybe_unused]] const int ft_servers = topo::fattree_servers(k);  // 432
-  const int jf_servers = 544;                      // paper's same-equipment count
-  const int runs = 3;
-  Rng rng(808);
-
-  print_banner(std::cout, "Figure 8: normalized throughput vs fraction of failed links");
-  Table table({"fail_fraction", "jellyfish_544", "fattree_432"});
-
-  for (double frac : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25}) {
-    double jf_tput = 0.0, ft_tput = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      Rng jr = rng.fork(run * 100 + static_cast<std::uint64_t>(frac * 1000));
-      auto jelly = topo::build_jellyfish_with_servers(switches, k, jf_servers, jr);
-      topo::fail_random_links(jelly, frac, jr);
-      jf_tput += failure_throughput(jelly, jr) / runs;
-
-      Rng fr = rng.fork(run * 100 + static_cast<std::uint64_t>(frac * 1000) + 50);
-      auto ft = topo::build_fattree(k);
-      topo::fail_random_links(ft, frac, fr);
-      ft_tput += failure_throughput(ft, fr) / runs;
-    }
-    table.add_row({Table::fmt(frac, 2), Table::fmt(jf_tput), Table::fmt(ft_tput)});
-    std::cout << "  [fail=" << frac << " done]\n";
-  }
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: graceful degradation for both; Jellyfish at least as "
-               "resilient while hosting 26% more servers.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv, "Figure 8: normalized throughput vs fraction of failed links",
+      JF_SCENARIO_DIR "/fig08.json", shape_note);
 }

@@ -13,6 +13,7 @@
 // (machine-greppable lines), or "json" (full per-seed samples + aggregates).
 // With --out the rendering goes to the file (default json); without it, to
 // stdout (default table). Reports are byte-identical at any --threads.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -172,9 +173,17 @@ int cmd_list() {
   std::cout << "   (* = deterministic, shares path caches across seeds)\n";
   std::cout << "routing schemes:  ";
   for (const auto& s : routing::path_provider_schemes()) std::cout << " " << s;
-  std::cout << "\nmetrics:          ";
-  for (eval::Metric m : eval::all_metrics()) std::cout << " " << eval::metric_name(m);
-  std::cout << "\nsweep fields:     ";
+  std::cout << "\nmetrics:\n";
+  std::size_t width = 0;
+  for (eval::Metric m : eval::all_metrics()) {
+    width = std::max(width, eval::metric_name(m).size());
+  }
+  for (eval::Metric m : eval::all_metrics()) {
+    const std::string name = eval::metric_name(m);
+    std::cout << "  " << name << std::string(width - name.size() + 2, ' ')
+              << eval::metric_description(m) << "\n";
+  }
+  std::cout << "sweep fields:     ";
   for (const auto& f : eval::sweep_fields()) std::cout << " " << f;
   std::cout << "\n";
   return 0;

@@ -9,8 +9,10 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "eval/serialize.h"
 #include "eval/topology_factory.h"
 #include "expansion/cost_model.h"
+#include "expansion/schedule.h"
 #include "flow/bisection.h"
 #include "flow/restricted.h"
 #include "flow/throughput.h"
@@ -31,6 +33,7 @@ constexpr std::uint64_t kTrafficStream = 0x2000'0000ULL;
 constexpr std::uint64_t kBisectionStream = 0x3000'0000ULL;
 constexpr std::uint64_t kSimStream = 0x4000'0000ULL;
 constexpr std::uint64_t kCapacityStream = 0x5000'0000ULL;
+constexpr std::uint64_t kGrowthStream = 0x6000'0000ULL;
 
 // Traffic for sample `k` of (seed, topo) — deliberately independent of the
 // routing index so every routing scheme sees identical matrices.
@@ -39,19 +42,52 @@ Rng traffic_rng(std::uint64_t seed, int topo_idx, int k) {
                         static_cast<std::uint64_t>(k));
 }
 
+// Failure robustness (Fig. 8) shared by both fluid-throughput metrics: a
+// commodity whose endpoints are in different components counts as a
+// zero-throughput flow — the solver runs on the reachable commodities and
+// the resulting rate is scaled by their demand share — instead of zeroing
+// the whole concurrent allocation. On connected topologies every commodity
+// survives and the scale factor is exactly 1, so this is the identity
+// there. `solve` maps the live commodity set to a lambda.
+template <typename Solver>
+double failure_robust_throughput(const topo::Topology& topo,
+                                 const std::vector<traffic::Commodity>& commodities,
+                                 const Solver& solve) {
+  const auto comp = graph::connected_components(topo.switches());
+  double total_demand = 0.0, reachable_demand = 0.0;
+  std::vector<traffic::Commodity> live;
+  live.reserve(commodities.size());
+  for (const auto& c : commodities) {
+    total_demand += c.demand;
+    if (comp[static_cast<std::size_t>(c.src_switch)] ==
+        comp[static_cast<std::size_t>(c.dst_switch)]) {
+      live.push_back(c);
+      reachable_demand += c.demand;
+    }
+  }
+  if (live.empty() || total_demand <= 0.0) return 0.0;
+  return std::min(1.0, solve(live)) * (reachable_demand / total_demand);
+}
+
 double fluid_throughput(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                         const flow::McfOptions& mcf, parallel::WorkBudget* budget) {
-  auto commodities = traffic::to_switch_commodities(topo, tm);
-  return std::min(
-      1.0, flow::max_concurrent_flow(topo.switches(), commodities, mcf, budget).lambda);
+  return failure_robust_throughput(
+      topo, traffic::to_switch_commodities(topo, tm),
+      [&](const std::vector<traffic::Commodity>& live) {
+        return flow::max_concurrent_flow(topo.switches(), live, mcf, budget).lambda;
+      });
 }
 
 double routed_fluid_throughput(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                                routing::PathProvider& routes, const flow::McfOptions& mcf) {
-  auto commodities = traffic::to_switch_commodities(topo, tm);
-  return std::min(
-      1.0, flow::restricted_max_concurrent_flow(topo.switches(), commodities, routes, mcf)
-               .lambda);
+  // The restricted solver would otherwise hard-zero the allocation on the
+  // first pair the scheme cannot route.
+  return failure_robust_throughput(
+      topo, traffic::to_switch_commodities(topo, tm),
+      [&](const std::vector<traffic::Commodity>& live) {
+        return flow::restricted_max_concurrent_flow(topo.switches(), live, routes, mcf)
+            .lambda;
+      });
 }
 
 // One (topology[, routing], seed) work unit.
@@ -72,6 +108,7 @@ struct SharedTopology {
 
 void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
                       const std::function<void(const std::string&, int, double)>& emit,
+                      const std::function<const expansion::GrowthPlan&()>& growth,
                       parallel::WorkBudget* budget) {
   const TopologySpec& spec = s.topologies[static_cast<std::size_t>(cell.topo)];
   switch (m) {
@@ -109,6 +146,44 @@ void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
       }
       break;
     }
+    // The expansion metrics report one growth plan per cell: per-step
+    // sub-results land as "_s<step>" series (step 0 = initial build, so
+    // they stay distinguishable in aggregates), plus an unsuffixed headline
+    // value for the whole schedule.
+    case Metric::kExpansionCost: {
+      const expansion::GrowthPlan& plan = growth();
+      for (const auto& r : plan.steps) {
+        const std::string suffix = "_s" + std::to_string(r.step);
+        emit("expansion_cost" + suffix, r.step, r.cumulative_cost);
+        emit("expansion_switches" + suffix, r.step, static_cast<double>(r.switches));
+        emit("expansion_servers" + suffix, r.step, static_cast<double>(r.servers));
+      }
+      emit("expansion_cost", 0, plan.steps.back().cumulative_cost);
+      break;
+    }
+    case Metric::kRewiredCables: {
+      const expansion::GrowthPlan& plan = growth();
+      double rewired = 0.0, touched = 0.0;
+      for (const auto& r : plan.steps) {
+        const std::string suffix = "_s" + std::to_string(r.step);
+        emit("rewired_cables" + suffix, r.step, static_cast<double>(r.cables_rewired));
+        emit("cables_touched" + suffix, r.step, static_cast<double>(r.cables_touched));
+        rewired += r.cables_rewired;
+        touched += r.cables_touched;
+      }
+      emit("rewired_cables", 0, rewired);
+      emit("cables_touched", 0, touched);
+      break;
+    }
+    case Metric::kExpansionBisection: {
+      const expansion::GrowthPlan& plan = growth();
+      for (const auto& r : plan.steps) {
+        emit("expansion_bisection_s" + std::to_string(r.step), r.step,
+             r.normalized_bisection);
+      }
+      emit("expansion_bisection", 0, plan.steps.back().normalized_bisection);
+      break;
+    }
     default:
       break;
   }
@@ -135,11 +210,24 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
     return *local_topo;
   };
 
+  // One growth plan per cell, shared by however many expansion metrics the
+  // scenario requests; bisection is scored only when some metric reads it.
+  std::optional<expansion::GrowthPlan> growth_cache;
+  auto growth = [&]() -> const expansion::GrowthPlan& {
+    if (!growth_cache) {
+      const bool score = std::any_of(s.metrics.begin(), s.metrics.end(), [](Metric m) {
+        return m == Metric::kExpansionBisection;
+      });
+      growth_cache = Engine::growth_plan(s, cell.topo, cell.seed, score, budget);
+    }
+    return *growth_cache;
+  };
+
   if (cell.routing < 0) {
     for (Metric m : s.metrics) {
       if (metric_needs_routing(m)) continue;
       if (!metric_needs_build(m)) {
-        emit_spec_metric(s, cell, m, emit, budget);
+        emit_spec_metric(s, cell, m, emit, growth, budget);
         continue;
       }
       const topo::Topology& topo = topology();
@@ -297,6 +385,33 @@ void validate_scenario(const Scenario& s) {
                   [](Metric m) { return metric_needs_routing(m); });
   check(!has_routing_metrics || !s.routings.empty(),
         "Engine::run: routing-dependent metrics need >= 1 routing spec");
+  const bool has_expansion_metrics =
+      std::any_of(s.metrics.begin(), s.metrics.end(), [](Metric m) {
+        return m == Metric::kExpansionCost || m == Metric::kRewiredCables ||
+               m == Metric::kExpansionBisection;
+      });
+  const bool has_packet_sim = std::any_of(
+      s.metrics.begin(), s.metrics.end(), [](Metric m) { return m == Metric::kPacketSim; });
+  for (std::size_t t = 0; t < s.topologies.size(); ++t) {
+    const TopologySpec& spec = s.topologies[t];
+    // The packet simulator requires a route for every flow; a failure
+    // fraction that disconnects a pair would abort the batch mid-run, so
+    // refuse the combination up front (fluid metrics degrade gracefully).
+    check(!(has_packet_sim && spec.fail_links > 0.0),
+          "Engine::run: packet_sim does not support fail_links (topology '" +
+              spec.display() + "'); use the fluid throughput metrics");
+    if (!has_expansion_metrics) continue;
+    // Dry-run the schedule under this row's policy override so a bad
+    // combination — possibly introduced by a swept growth field — fails
+    // here instead of aborting the batch from a worker thread.
+    expansion::GrowthSchedule sched = s.growth;
+    if (!spec.growth_policy.empty()) sched.policy = spec.growth_policy;
+    try {
+      expansion::resolve_growth_steps(sched);
+    } catch (const std::invalid_argument& e) {
+      check(false, "Engine::run: topology '" + spec.display() + "': " + e.what());
+    }
+  }
 }
 
 // Canonical cell order: per topology, the routing-free cell block first,
@@ -349,6 +464,8 @@ void prepare_shared(PreparedScenario& p, bool share_path_cache) {
   for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
     const auto& spec = s.topologies[static_cast<std::size_t>(t)];
     if (!topology_family_deterministic(spec.family)) continue;
+    // Random link failures make even deterministic builds per-seed random.
+    if (spec.fail_links > 0.0) continue;
     // The factory ignores its Rng for deterministic families, so any seed
     // yields the per-cell build.
     Rng rng = Rng(s.seeds.front()).fork(kTopoStream + static_cast<std::uint64_t>(t));
@@ -408,6 +525,31 @@ void prepare_shared(PreparedScenario& p, bool share_path_cache) {
       if (st.providers[static_cast<std::size_t>(r)]) p.warm_jobs.emplace_back(t, r);
     }
   }
+}
+
+// Everything a cell's samples can depend on: the spec slice run_cell reads
+// (this cell's topology and routing specs, traffic, metrics, solver/sim
+// options, the growth schedule) plus the topology/routing indices and the
+// seed — the cell's RNG streams are derived from exactly those. Two cells
+// with equal keys therefore produce byte-identical samples, which is what
+// licenses cross-point memoization. Serialized through the canonical
+// scenario writer so every config field participates.
+std::string cell_key(const Scenario& s, const Cell& cell) {
+  Scenario slice;
+  slice.name.clear();
+  slice.topologies = {s.topologies[static_cast<std::size_t>(cell.topo)]};
+  if (cell.routing >= 0) slice.routings = {s.routings[static_cast<std::size_t>(cell.routing)]};
+  slice.traffic = s.traffic;
+  slice.metrics = s.metrics;
+  slice.seeds = {cell.seed};
+  slice.samples_per_seed = s.samples_per_seed;
+  slice.mcf = s.mcf;
+  slice.sim = s.sim;
+  slice.capacity = s.capacity;
+  slice.cabling_placement = s.cabling_placement;
+  slice.growth = s.growth;
+  return scenario_to_json(slice).dump() + "|" + std::to_string(cell.topo) + "," +
+         std::to_string(cell.routing) + "," + std::to_string(cell.seed);
 }
 
 Report assemble_report(const Scenario& s, std::vector<std::vector<Sample>>& results) {
@@ -489,13 +631,38 @@ std::vector<Report> Engine::run_batch(
   // order (scenario-major) only biases which work starts first; results land
   // in per-cell slots, so assembly is order-blind. Completed scenarios are
   // assembled immediately and emitted strictly in index order.
+  //
+  // Cross-point memoization: cells whose full config key matches an earlier
+  // cell (byte-identical spec slice + indices + seed — see cell_key) do not
+  // enter the queue; the leader cell splices its samples into their slots
+  // when it finishes. Sweeps with a fixed reference row collapse that row
+  // to one evaluation; any key miss just runs the cell.
   struct CellRef {
     std::size_t run;
     int cell;
   };
   std::vector<CellRef> queue;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) queue.push_back({i, c});
+  std::vector<std::vector<CellRef>> followers;  // duplicates of queue[i]'s key
+  if (opts_.memoize_cells) {
+    std::map<std::string, std::size_t> leader_of;  // key -> queue index
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) {
+        const std::string key =
+            cell_key(*runs[i].s, runs[i].cells[static_cast<std::size_t>(c)]);
+        auto [it, inserted] = leader_of.try_emplace(key, queue.size());
+        if (inserted) {
+          queue.push_back({i, c});
+          followers.emplace_back();
+        } else {
+          followers[it->second].push_back({i, c});
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) queue.push_back({i, c});
+    }
+    followers.resize(queue.size());
   }
 
   std::vector<Report> reports(scenarios.size());
@@ -507,23 +674,52 @@ std::vector<Report> Engine::run_batch(
     const Cell& cell = p.cells[static_cast<std::size_t>(ref.cell)];
     p.results[static_cast<std::size_t>(ref.cell)] =
         run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+    // Splice into every duplicate cell's slot. No lock needed: each
+    // follower slot is written exactly once, by this leader, before any
+    // counter below can reach zero.
+    for (const CellRef& f : followers[static_cast<std::size_t>(i)]) {
+      runs[f.run].results[static_cast<std::size_t>(f.cell)] =
+          p.results[static_cast<std::size_t>(ref.cell)];
+    }
 
     std::unique_lock<std::mutex> lock(done_mu);
-    if (--p.cells_left > 0) return;
-    // Assemble outside the lock: only the scenario's last cell reaches this
+    std::vector<std::size_t> finished;
+    auto account = [&](std::size_t run) {
+      if (--runs[run].cells_left == 0) finished.push_back(run);
+    };
+    account(ref.run);
+    for (const CellRef& f : followers[static_cast<std::size_t>(i)]) account(f.run);
+    if (finished.empty()) return;
+    // Assemble outside the lock: only a scenario's last cell reaches this
     // point, so the assembly itself is single-threaded, and other workers
     // should not queue behind an O(samples) merge just to decrement their
     // counters.
     lock.unlock();
-    reports[ref.run] = assemble_report(*p.s, p.results);
+    for (std::size_t run : finished) {
+      reports[run] = assemble_report(*runs[run].s, runs[run].results);
+    }
     lock.lock();
-    p.done = true;
+    for (std::size_t run : finished) runs[run].done = true;
     while (next_emit < runs.size() && runs[next_emit].done) {
       if (on_done) on_done(next_emit, reports[next_emit]);
       ++next_emit;
     }
   });
   return reports;
+}
+
+expansion::GrowthPlan Engine::growth_plan(const Scenario& s, int topo_idx, std::uint64_t seed,
+                                          bool score_bisection, parallel::WorkBudget* budget) {
+  check(topo_idx >= 0 && topo_idx < static_cast<int>(s.topologies.size()),
+        "Engine::growth_plan: topology index out of range");
+  const TopologySpec& spec = s.topologies[static_cast<std::size_t>(topo_idx)];
+  expansion::GrowthSchedule sched = s.growth;
+  if (!spec.growth_policy.empty()) sched.policy = spec.growth_policy;
+  Rng rng = Rng(seed).fork(kGrowthStream + static_cast<std::uint64_t>(topo_idx));
+  expansion::GrowthPlanOptions opts;
+  opts.score_bisection = score_bisection;
+  opts.budget = budget;
+  return expansion::plan_growth(sched, expansion::CostModel{}, rng, opts);
 }
 
 graph::PathLengthStats Engine::path_stats(const topo::Topology& t) {

@@ -45,6 +45,14 @@ struct EngineOptions {
   // once per seed. Results are identical either way; this is purely a
   // time/memory trade.
   bool share_path_cache = true;
+  // Across a batch (typically one sweep), cells whose full configuration —
+  // the spec slice the cell reads plus its topology/routing indices and
+  // seed, which the cell's RNG streams are derived from — is byte-identical
+  // run once; the other occurrences splice the first cell's samples into
+  // their result slots (e.g. fig02a's fixed fat-tree reference row, which
+  // the server-ramp axis never touches, evaluates once instead of once per
+  // sweep point). Reports are byte-identical either way.
+  bool memoize_cells = true;
 };
 
 class Engine {
@@ -95,6 +103,14 @@ class Engine {
   // Weighted server-pair path-length CDF: P[server-to-server hops <= L],
   // where hops = switch distance + 2 host links (Fig. 1(c)).
   static std::map<int, double> server_path_cdf(const topo::Topology& t);
+
+  // The growth-schedule kernel behind the kExpansion* metrics: executes
+  // Scenario::growth (with topology row `topo_idx`'s growth_policy override)
+  // on the cell's seed-and-index-derived RNG stream. Exposed so tests can
+  // check the engine's reported per-step values against a direct plan.
+  static expansion::GrowthPlan growth_plan(const Scenario& s, int topo_idx,
+                                           std::uint64_t seed, bool score_bisection,
+                                           parallel::WorkBudget* budget = nullptr);
 
  private:
   EngineOptions opts_;

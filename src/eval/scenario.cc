@@ -30,6 +30,9 @@ bool metric_needs_routing(Metric m) {
     case Metric::kCabling:
     case Metric::kMinPorts:
     case Metric::kCapacity:
+    case Metric::kExpansionCost:
+    case Metric::kRewiredCables:
+    case Metric::kExpansionBisection:
       return false;
   }
   return false;
@@ -39,6 +42,11 @@ bool metric_needs_build(Metric m) {
   switch (m) {
     case Metric::kMinPorts:
     case Metric::kCapacity:
+    // The expansion metrics grow their own network from Scenario::growth;
+    // the cell's TopologySpec is never built.
+    case Metric::kExpansionCost:
+    case Metric::kRewiredCables:
+    case Metric::kExpansionBisection:
       return false;
     default:
       return true;
@@ -67,8 +75,46 @@ std::string metric_name(Metric m) {
       return "min_ports";
     case Metric::kCapacity:
       return "capacity";
+    case Metric::kExpansionCost:
+      return "expansion_cost";
+    case Metric::kRewiredCables:
+      return "rewired_cables";
+    case Metric::kExpansionBisection:
+      return "expansion_bisection";
   }
   return "unknown";
+}
+
+std::string metric_description(Metric m) {
+  switch (m) {
+    case Metric::kPathStats:
+      return "mean inter-switch path length and diameter (routing-free)";
+    case Metric::kServerCdf:
+      return "server-pair path-length CDF, server_cdf_le{2..6} (Fig. 1c)";
+    case Metric::kThroughput:
+      return "fluid MCF throughput under optimal routing (failure-robust)";
+    case Metric::kBisection:
+      return "normalized bisection bandwidth (analytic RRG bound or KL cut)";
+    case Metric::kRoutedThroughput:
+      return "fluid MCF restricted to the routing scheme's path sets";
+    case Metric::kLinkDiversity:
+      return "paths-per-link distribution, div_* (Fig. 9)";
+    case Metric::kPacketSim:
+      return "packet-level sim_goodput/sim_fairness/sim_drops";
+    case Metric::kCabling:
+      return "cable counts, lengths, and material cost via layout (§6)";
+    case Metric::kMinPorts:
+      return "min total ports at full bisection, spec-only (Fig. 2b)";
+    case Metric::kCapacity:
+      return "max servers at full capacity via binary search (Fig. 2c)";
+    case Metric::kExpansionCost:
+      return "growth schedule: cumulative cost/switches/servers per step (Fig. 7)";
+    case Metric::kRewiredCables:
+      return "growth schedule: cables moved and touched per step (§6)";
+    case Metric::kExpansionBisection:
+      return "growth schedule: normalized bisection after every step (Fig. 7)";
+  }
+  return "?";
 }
 
 Metric metric_from_name(const std::string& name) {
@@ -84,7 +130,8 @@ const std::vector<Metric>& all_metrics() {
       Metric::kPathStats,   Metric::kServerCdf,     Metric::kThroughput,
       Metric::kBisection,   Metric::kRoutedThroughput, Metric::kLinkDiversity,
       Metric::kPacketSim,   Metric::kCabling,       Metric::kMinPorts,
-      Metric::kCapacity,
+      Metric::kCapacity,    Metric::kExpansionCost, Metric::kRewiredCables,
+      Metric::kExpansionBisection,
   };
   return all;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "expansion/schedule.h"
 #include "flow/mcf.h"
 #include "flow/throughput.h"
 #include "layout/placement.h"
@@ -65,6 +66,16 @@ struct TopologySpec {
   int grow_from = 0;
   int grow_step = 1;
 
+  // Fraction of switch-switch links removed uniformly at random after the
+  // build (failure resilience, Fig. 8). Applies to every family; a nonzero
+  // value makes even deterministic families per-seed random.
+  double fail_links = 0.0;
+
+  // Expansion metrics only: overrides Scenario::growth.policy for this row,
+  // so one scenario can compare "jellyfish" and "clos" growth side by side.
+  // Empty uses the schedule's policy.
+  std::string growth_policy;
+
   const std::string& display() const { return label.empty() ? family : label; }
 };
 
@@ -94,6 +105,9 @@ enum class Metric {
   kCabling,           // §6 cable counts/lengths/costs via layout/cabling
   kMinPorts,          // Fig. 2(b): min total ports at full bisection (analytic)
   kCapacity,          // Fig. 2(c): max servers at full capacity (search)
+  kExpansionCost,     // §6/Fig. 7: cumulative cost + size per growth step
+  kRewiredCables,     // §6/Fig. 7: cables moved/touched per growth step
+  kExpansionBisection,  // §6/Fig. 7: normalized bisection per growth step
 };
 
 // True for metrics evaluated once per (topology, routing, seed) cell; false
@@ -107,6 +121,9 @@ bool metric_needs_build(Metric m);
 
 // Metric enum -> stable name prefix used in Sample::metric.
 std::string metric_name(Metric m);
+
+// One-line human description (jf_eval list, docs).
+std::string metric_description(Metric m);
 
 // Inverse of metric_name; throws std::invalid_argument for unknown names.
 Metric metric_from_name(const std::string& name);
@@ -139,6 +156,12 @@ struct Scenario {
   // Physical placement model for kCabling rows (§6.2 switch cluster is the
   // paper's recommendation; kToRInRack is the naive baseline).
   layout::PlacementStyle cabling_placement = layout::PlacementStyle::kCentralCluster;
+  // Expansion schedule evaluated by the kExpansion* metrics. Those metrics
+  // grow their own network from the schedule's initial build — the
+  // TopologySpec rows contribute only a label and an optional growth_policy
+  // override — with per-step sub-results recorded in the Report (metric
+  // names suffixed "_s<step>"). Costs use the default expansion::CostModel.
+  expansion::GrowthSchedule growth;
 };
 
 }  // namespace jf::eval

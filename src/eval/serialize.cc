@@ -162,6 +162,8 @@ Value topology_to_json(const TopologySpec& t) {
   o.emplace_back("local_fraction", t.local_fraction);
   o.emplace_back("grow_from", t.grow_from);
   o.emplace_back("grow_step", t.grow_step);
+  o.emplace_back("fail_links", t.fail_links);
+  o.emplace_back("growth_policy", t.growth_policy);
   return Value(std::move(o));
 }
 
@@ -182,6 +184,16 @@ TopologySpec topology_from_json(const Value& v, const std::string& ctx) {
   r.read("local_fraction", t.local_fraction);
   r.read("grow_from", t.grow_from);
   r.read("grow_step", t.grow_step);
+  r.read("fail_links", t.fail_links);
+  if (t.fail_links < 0.0 || t.fail_links > 1.0) {
+    schema_error(ctx + ".fail_links", "must be in [0, 1]");
+  }
+  r.read("growth_policy", t.growth_policy);
+  if (!t.growth_policy.empty() && t.growth_policy != "jellyfish" &&
+      t.growth_policy != "clos") {
+    schema_error(ctx + ".growth_policy",
+                 "unknown growth policy '" + t.growth_policy + "'");
+  }
   r.done();
   return t;
 }
@@ -328,6 +340,84 @@ flow::CapacitySearchOptions capacity_from_json(const Value& v, const std::string
   r.read("verify_matrices", c.verify_matrices);
   r.done();
   return c;
+}
+
+// --- growth schedules ---
+
+Value growth_step_to_json(const expansion::GrowthStep& s) {
+  Object o;
+  o.emplace_back("add_switches", s.add_switches);
+  o.emplace_back("min_servers", s.min_servers);
+  o.emplace_back("budget", s.budget);
+  o.emplace_back("rewire_limit", s.rewire_limit);
+  return Value(std::move(o));
+}
+
+expansion::GrowthStep growth_step_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  expansion::GrowthStep s;
+  r.read("add_switches", s.add_switches);
+  r.read("min_servers", s.min_servers);
+  r.read("budget", s.budget);
+  r.read("rewire_limit", s.rewire_limit);
+  r.done();
+  return s;
+}
+
+Value growth_to_json(const expansion::GrowthSchedule& g) {
+  Object o;
+  o.emplace_back("policy", g.policy);
+  Object initial;
+  initial.emplace_back("switches", g.initial.switches);
+  initial.emplace_back("ports", g.initial.ports_per_switch);
+  initial.emplace_back("servers", g.initial.servers);
+  o.emplace_back("initial", Value(std::move(initial)));
+  o.emplace_back("network_degree", g.network_degree);
+  Array steps;
+  for (const auto& s : g.steps) steps.push_back(growth_step_to_json(s));
+  o.emplace_back("steps", Value(std::move(steps)));
+  o.emplace_back("target_switches", g.target_switches);
+  o.emplace_back("step_switches", g.step_switches);
+  o.emplace_back("rewire_limit", g.rewire_limit);
+  return Value(std::move(o));
+}
+
+expansion::GrowthSchedule growth_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  expansion::GrowthSchedule g;
+  r.read("policy", g.policy);
+  if (g.policy != "jellyfish" && g.policy != "clos") {
+    schema_error(ctx + ".policy", "unknown growth policy '" + g.policy + "'");
+  }
+  if (const Value* initial = r.get("initial")) {
+    ObjectReader ir(*initial, ctx + ".initial");
+    ir.read("switches", g.initial.switches);
+    ir.read("ports", g.initial.ports_per_switch);
+    ir.read("servers", g.initial.servers);
+    ir.done();
+  }
+  r.read("network_degree", g.network_degree);
+  if (const Value* steps = r.get("steps")) {
+    const Array& arr =
+        with_ctx(ctx + ".steps", [&]() -> const Array& { return steps->as_array(); });
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      g.steps.push_back(
+          growth_step_from_json(arr[i], ctx + ".steps[" + std::to_string(i) + "]"));
+    }
+  }
+  r.read("target_switches", g.target_switches);
+  r.read("step_switches", g.step_switches);
+  r.read("rewire_limit", g.rewire_limit);
+  r.done();
+  // Structural validation (generator consistency, field ranges) happens in
+  // resolve_growth_steps; run it here so a bad schedule fails at load time
+  // with the file's context path instead of mid-run.
+  try {
+    expansion::resolve_growth_steps(g);
+  } catch (const std::invalid_argument& e) {
+    schema_error(ctx, e.what());
+  }
+  return g;
 }
 
 // --- sweep axes ---
@@ -477,6 +567,22 @@ Scenario scenario_from_json_impl(const Value& v, std::vector<SweepAxis>* sweep_o
   if (const Value* cap = r.get("capacity")) {
     s.capacity = capacity_from_json(*cap, ctx + ".capacity");
   }
+  if (const Value* growth = r.get("growth")) {
+    s.growth = growth_from_json(*growth, ctx + ".growth");
+  }
+  // A topology row's growth_policy swaps the planner for that row, so the
+  // schedule must be structurally valid under the override too — catch the
+  // combination here (with the row's context path) rather than mid-batch.
+  for (std::size_t i = 0; i < s.topologies.size(); ++i) {
+    if (s.topologies[i].growth_policy.empty()) continue;
+    expansion::GrowthSchedule overridden = s.growth;
+    overridden.policy = s.topologies[i].growth_policy;
+    try {
+      expansion::resolve_growth_steps(overridden);
+    } catch (const std::invalid_argument& e) {
+      schema_error(ctx + ".topologies[" + std::to_string(i) + "].growth_policy", e.what());
+    }
+  }
   if (const Value* placement = r.get("cabling_placement")) {
     s.cabling_placement =
         placement_from(placement->as_string(), ctx + ".cabling_placement");
@@ -515,6 +621,7 @@ Value scenario_to_json_impl(const Scenario& s, const std::vector<SweepAxis>* axe
   o.emplace_back("mcf", mcf_to_json(s.mcf));
   o.emplace_back("sim", sim_to_json(s.sim));
   o.emplace_back("capacity", capacity_to_json(s.capacity));
+  o.emplace_back("growth", growth_to_json(s.growth));
   o.emplace_back("cabling_placement", placement_name(s.cabling_placement));
   if (axes != nullptr && !axes->empty()) {
     Array sweep;

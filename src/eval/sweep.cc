@@ -60,6 +60,11 @@ bool set_topology_field(TopologySpec& t, std::string_view member, const AxisEntr
     t.network_degree = as_count_value(entry, v);
   } else if (member == "local_fraction") {
     t.local_fraction = v;
+  } else if (member == "fail_links") {
+    check(v >= 0.0 && v <= 1.0,
+          "sweep field '" + entry.field + "' needs a value in [0, 1], got " +
+              json::number_to_string(v));
+    t.fail_links = v;
   } else if (member == "grow_from") {
     t.grow_from = as_count_value(entry, v);
   } else if (member == "grow_step") {
@@ -86,6 +91,7 @@ const std::vector<std::string>& sweep_fields() {
       "topology.local_fraction",
       "topology.grow_from",
       "topology.grow_step",
+      "topology.fail_links",
       "routing.width",
       "traffic.demand",
       "traffic.num_hot",
@@ -94,6 +100,10 @@ const std::vector<std::string>& sweep_fields() {
       "sim.parallel_connections",
       "sim.subflows",
       "sim.shards",
+      "growth.step_switches",
+      "growth.target_switches",
+      "growth.rewire_limit",
+      "growth.budget",
   };
   return fields;
 }
@@ -130,6 +140,29 @@ void apply_sweep_value(Scenario& s, const AxisEntry& entry, double value) {
     s.sim.subflows = as_count_value(entry, value);
   } else if (f == "sim.shards") {
     s.sim.shards = as_count_value(entry, value);
+  } else if (f == "growth.step_switches" || f == "growth.target_switches") {
+    // The generator fields are ignored whenever explicit steps exist —
+    // sweeping them there would silently evaluate N identical points.
+    check(s.growth.steps.empty(),
+          "sweep field '" + f + "': schedule has explicit steps (sweep "
+          "growth.budget or growth.rewire_limit instead)");
+    if (f == "growth.step_switches") {
+      s.growth.step_switches = as_count_value(entry, value);
+    } else {
+      s.growth.target_switches = as_count_value(entry, value);
+    }
+  } else if (f == "growth.rewire_limit") {
+    // -1 means "no cap", so this is the one integer sweep field that may go
+    // below 1. Applies to the generator default and every explicit step.
+    const int limit = as_int_value(entry, value);
+    check(limit >= -1, "sweep field 'growth.rewire_limit' needs a value >= -1");
+    s.growth.rewire_limit = limit;
+    for (auto& step : s.growth.steps) step.rewire_limit = limit;
+  } else if (f == "growth.budget") {
+    check(value >= 0.0, "sweep field 'growth.budget' needs a value >= 0");
+    check(!s.growth.steps.empty(),
+          "sweep field 'growth.budget': schedule has no explicit steps");
+    for (auto& step : s.growth.steps) step.budget = value;
   } else {
     check(false, "unknown sweep field '" + f + "'");
   }

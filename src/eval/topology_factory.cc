@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "expansion/schedule.h"
 #include "topo/fattree.h"
 #include "topo/jellyfish.h"
 #include "topo/swdc.h"
@@ -38,10 +39,10 @@ const std::map<std::string, TopologyFactory>& builtins() {
       {"jellyfish-incr",
        [](const TopologySpec& spec, Rng& rng) {
          // Incrementally grown Jellyfish (§4.2): the Fig. 5/6 "expanded"
-         // rows. Built from scratch at grow_from switches, then expanded in
-         // batches of grow_step until the target size, all from one rng
-         // stream — the construction history the paper compares against
-         // from-scratch builds.
+         // rows. Expressed as a pure fixed-step GrowthSchedule and executed
+         // by the unified growth planner, which threads the one rng stream
+         // through the initial build and every expansion splice in order —
+         // byte-identical to the historical inline grow loop.
          check(spec.grow_from >= 2, "jellyfish-incr topology: need grow_from >= 2");
          check(spec.switches >= spec.grow_from,
                "jellyfish-incr topology: need switches >= grow_from");
@@ -49,17 +50,15 @@ const std::map<std::string, TopologyFactory>& builtins() {
          check(spec.ports >= 1 && spec.network_degree >= 1 &&
                    spec.network_degree <= spec.ports,
                "jellyfish-incr topology: need 1 <= network_degree <= ports");
-         const int servers_per_switch = spec.ports - spec.network_degree;
-         auto topo = topo::build_jellyfish({.num_switches = spec.grow_from,
-                                            .ports_per_switch = spec.ports,
-                                            .network_degree = spec.network_degree},
-                                           rng);
-         while (topo.num_switches() < spec.switches) {
-           const int step = std::min(spec.grow_step, spec.switches - topo.num_switches());
-           topo::expand_add_switches(topo, step, spec.ports, spec.network_degree,
-                                     servers_per_switch, rng);
-         }
-         return topo;
+         expansion::GrowthSchedule sched;
+         sched.initial = {spec.grow_from, spec.ports,
+                          spec.grow_from * (spec.ports - spec.network_degree)};
+         sched.network_degree = spec.network_degree;
+         sched.target_switches = spec.switches;
+         sched.step_switches = spec.grow_step;
+         expansion::GrowthPlanOptions opts;
+         opts.score_bisection = false;  // construction only; metrics score plans
+         return expansion::plan_growth(sched, {}, rng, opts).topology;
        }},
       {"fattree",
        [](const TopologySpec& spec, Rng&) {
@@ -123,11 +122,20 @@ std::map<std::string, RegisteredFamily>& registry() {
 }  // namespace
 
 topo::Topology build_topology(const TopologySpec& spec, Rng& rng) {
+  check(spec.fail_links >= 0.0 && spec.fail_links <= 1.0,
+        "build_topology: fail_links must be in [0, 1]");
+  auto finish = [&](topo::Topology topo) {
+    // Link failures (Fig. 8) draw from the same topology stream, after the
+    // build — every family composes with a failure fraction, and each seed
+    // fails a different random subset even for deterministic families.
+    if (spec.fail_links > 0.0) topo::fail_random_links(topo, spec.fail_links, rng);
+    return topo;
+  };
   if (auto it = builtins().find(spec.family); it != builtins().end()) {
-    return it->second(spec, rng);
+    return finish(it->second(spec, rng));
   }
   if (auto it = registry().find(spec.family); it != registry().end()) {
-    return it->second.factory(spec, rng);
+    return finish(it->second.factory(spec, rng));
   }
   check(false, "build_topology: unknown topology family");
   return {};

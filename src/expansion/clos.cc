@@ -67,7 +67,7 @@ topo::Topology build_clos(const ClosConfig& cfg) {
 }
 
 ClosConfig best_clos_upgrade(const ClosConfig& current, int min_servers, double budget,
-                             const CostModel& costs, double* spent) {
+                             const CostModel& costs, double* spent, int rewire_limit) {
   check(min_servers >= 0, "best_clos_upgrade: negative servers");
   ClosConfig best = current;
   double best_spent = 0.0;
@@ -84,6 +84,7 @@ ClosConfig best_clos_upgrade(const ClosConfig& current, int min_servers, double 
         ClosConfig cand{e, s, d, k};
         if (!cand.feasible() || cand.servers() < min_servers) continue;
         const auto [added, removed] = cable_delta(current, cand);
+        if (rewire_limit >= 0 && removed > rewire_limit) continue;
         const double cost = costs.switch_cost(k) * (de + ds) +
                             costs.new_cable_cost() * added + costs.detach_cost() * removed;
         if (cost > budget) continue;

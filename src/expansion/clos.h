@@ -53,8 +53,10 @@ topo::Topology build_clos(const ClosConfig& cfg);
 // Cheapest-first upgrade search: the best-bisection configuration hosting
 // >= `min_servers` reachable from `current` within `budget` (switch cost +
 // cable add/remove labor). Returns `current` unchanged if nothing affordable
-// improves it. `spent` receives the cost of the chosen upgrade.
+// improves it. `spent` receives the cost of the chosen upgrade. A
+// non-negative `rewire_limit` additionally rejects candidates that would
+// move more than that many existing cables (growth-schedule rewiring caps).
 ClosConfig best_clos_upgrade(const ClosConfig& current, int min_servers, double budget,
-                             const CostModel& costs, double* spent);
+                             const CostModel& costs, double* spent, int rewire_limit = -1);
 
 }  // namespace jf::expansion

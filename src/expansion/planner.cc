@@ -1,32 +1,32 @@
 #include "expansion/planner.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/check.h"
-#include "flow/bisection.h"
-#include "topo/jellyfish.h"
+#include <utility>
 
 namespace jf::expansion {
 
 namespace {
 
-constexpr int kKlRestarts = 3;
-
-// Cost of splicing one switch with `degree` network links into a Jellyfish
-// network: each pair of ports displaces one existing cable (detach) and adds
-// two new cables.
-double jellyfish_splice_cost(int degree, const CostModel& costs) {
-  const int swaps = degree / 2;
-  const int odd = degree % 2;
-  return swaps * (costs.detach_cost() + 2 * costs.new_cable_cost()) +
-         odd * costs.new_cable_cost();
+GrowthSchedule arc_schedule(const InitialBuild& initial,
+                            const std::vector<ExpansionStage>& stages,
+                            const std::string& policy) {
+  GrowthSchedule sched;
+  sched.initial = initial;
+  sched.policy = policy;
+  sched.steps.reserve(stages.size());
+  for (const ExpansionStage& stage : stages) {
+    sched.steps.push_back({0, stage.min_servers, stage.budget, -1});
+  }
+  return sched;
 }
 
-int jellyfish_cables_touched(int degree) {
-  const int swaps = degree / 2;
-  const int odd = degree % 2;
-  return swaps * 3 + odd;  // one detach + two attaches per swap
+std::vector<StageResult> to_stage_results(const std::vector<GrowthStepResult>& steps) {
+  std::vector<StageResult> out;
+  out.reserve(steps.size());
+  for (const GrowthStepResult& r : steps) {
+    out.push_back({r.step, r.spent, r.cumulative_cost, r.switches, r.servers,
+                   r.normalized_bisection, r.cables_touched});
+  }
+  return out;
 }
 
 }  // namespace
@@ -34,141 +34,22 @@ int jellyfish_cables_touched(int degree) {
 JellyfishPlan plan_jellyfish_expansion(const InitialBuild& initial,
                                        const std::vector<ExpansionStage>& stages,
                                        const CostModel& costs, Rng& rng) {
-  check(initial.switches >= 2 && initial.servers >= 0, "plan_jellyfish_expansion: bad initial");
-  const int k = initial.ports_per_switch;
-  const int servers_per_rack =
-      std::max(1, static_cast<int>(std::lround(static_cast<double>(initial.servers) /
-                                               initial.switches)));
-
+  GrowthPlan growth = plan_growth(arc_schedule(initial, stages, "jellyfish"), costs, rng);
   JellyfishPlan plan;
-  Rng build_rng = rng.fork(1);
-  plan.final_topology =
-      topo::build_jellyfish_with_servers(initial.switches, k, initial.servers, build_rng);
-  topo::Topology& topo = plan.final_topology;
-
-  // Stage 0 = initial build: switches + all cables + server attachments.
-  double cumulative = costs.switch_cost(k) * initial.switches +
-                      costs.new_cable_cost() *
-                          static_cast<double>(topo.switches().num_edges() + topo.num_servers());
-  {
-    Rng kl = rng.fork(100);
-    StageResult r;
-    r.stage = 0;
-    r.spent = cumulative;
-    r.cumulative_cost = cumulative;
-    r.switches = topo.num_switches();
-    r.servers = topo.num_servers();
-    r.normalized_bisection = flow::estimated_normalized_bisection(topo, kl, kKlRestarts);
-    plan.stages.push_back(r);
-  }
-
-  for (std::size_t si = 0; si < stages.size(); ++si) {
-    const ExpansionStage& stage = stages[si];
-    double remaining = stage.budget;
-    double spent = 0.0;
-    int touched = 0;
-
-    // First obligation: host the required servers by adding rack switches.
-    while (topo.num_servers() < stage.min_servers) {
-      const int servers = std::min(servers_per_rack, stage.min_servers - topo.num_servers());
-      const int degree = k - servers;
-      const double cost = costs.switch_cost(k) + jellyfish_splice_cost(degree, costs) +
-                          costs.new_cable_cost() * servers;
-      Rng r = rng.fork(1000 + si * 37 + static_cast<std::uint64_t>(topo.num_switches()));
-      topo::expand_add_switch(topo, k, degree, servers, r);
-      touched += jellyfish_cables_touched(degree) + servers;
-      spent += cost;
-      remaining -= cost;
-    }
-
-    // Remaining budget: network-only switches (all ports into the fabric).
-    const double network_switch_cost =
-        costs.switch_cost(k) + jellyfish_splice_cost(k, costs);
-    while (remaining >= network_switch_cost) {
-      Rng r = rng.fork(2000 + si * 37 + static_cast<std::uint64_t>(topo.num_switches()));
-      topo::expand_add_switch(topo, k, k, 0, r);
-      touched += jellyfish_cables_touched(k);
-      spent += network_switch_cost;
-      remaining -= network_switch_cost;
-    }
-
-    cumulative += spent;
-    Rng kl = rng.fork(100 + si + 1);
-    StageResult r;
-    r.stage = static_cast<int>(si) + 1;
-    r.spent = spent;
-    r.cumulative_cost = cumulative;
-    r.switches = topo.num_switches();
-    r.servers = topo.num_servers();
-    r.normalized_bisection = flow::estimated_normalized_bisection(topo, kl, kKlRestarts);
-    r.cables_touched = touched;
-    plan.stages.push_back(r);
-  }
+  plan.final_topology = std::move(growth.topology);
+  plan.stages = to_stage_results(growth.steps);
   return plan;
 }
 
 ClosPlan plan_clos_expansion(const InitialBuild& initial,
                              const std::vector<ExpansionStage>& stages, const CostModel& costs,
-                             [[maybe_unused]] Rng& rng) {
-  const int k = initial.ports_per_switch;
-
-  // Initial Clos: split the same switch count into edge + spine hosting the
-  // required servers with the best feasible bisection.
-  ClosConfig cfg;
-  double best_bis = -1.0;
-  for (int e = 1; e < initial.switches; ++e) {
-    const int s = initial.switches - e;
-    const int d = (initial.servers + e - 1) / e;
-    ClosConfig cand{e, s, d, k};
-    if (!cand.feasible() || cand.servers() < initial.servers) continue;
-    if (cand.normalized_bisection() > best_bis) {
-      best_bis = cand.normalized_bisection();
-      cfg = cand;
-    }
-  }
-  check(best_bis >= 0, "plan_clos_expansion: no feasible initial Clos");
-
+                             Rng& rng) {
+  // The clos policy is deterministic; the rng is accepted for interface
+  // symmetry and passed through untouched.
+  GrowthPlan growth = plan_growth(arc_schedule(initial, stages, "clos"), costs, rng);
   ClosPlan plan;
-  double cumulative = costs.switch_cost(k) * cfg.switches() +
-                      costs.new_cable_cost() *
-                          static_cast<double>(cfg.edge * cfg.up() + cfg.servers());
-  {
-    StageResult r;
-    r.stage = 0;
-    r.spent = cumulative;
-    r.cumulative_cost = cumulative;
-    r.switches = cfg.switches();
-    r.servers = cfg.servers();
-    // The folded Clos bisection is known in closed form (uplink capacity /
-    // server capacity); KL on the collapsed simple graph would undercount
-    // parallel cables, so the analytic value is used.
-    r.normalized_bisection = cfg.normalized_bisection();
-    plan.stages.push_back(r);
-  }
-
-  for (std::size_t si = 0; si < stages.size(); ++si) {
-    const ExpansionStage& stage = stages[si];
-    double spent = 0.0;
-    const int servers_needed = std::max(stage.min_servers, cfg.servers());
-    ClosConfig next = best_clos_upgrade(cfg, servers_needed, stage.budget, costs, &spent);
-    const auto [added, removed] = cable_delta(cfg, next);
-    // New server attachments are cabling work too.
-    const int new_servers = std::max(0, next.servers() - cfg.servers());
-    spent += costs.new_cable_cost() * new_servers;
-    cfg = next;
-    cumulative += spent;
-
-    StageResult r;
-    r.stage = static_cast<int>(si) + 1;
-    r.spent = spent;
-    r.cumulative_cost = cumulative;
-    r.switches = cfg.switches();
-    r.servers = cfg.servers();
-    r.normalized_bisection = cfg.normalized_bisection();
-    r.cables_touched = added + removed + new_servers;
-    plan.stages.push_back(r);
-  }
-  plan.final_config = cfg;
+  plan.final_config = growth.clos;
+  plan.stages = to_stage_results(growth.steps);
   return plan;
 }
 

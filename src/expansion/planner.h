@@ -13,6 +13,18 @@
 //
 // Both report normalized bisection bandwidth per stage, scored by the same
 // Kernighan-Lin estimator, so the Fig. 7 comparison is apples-to-apples.
+//
+// Both are thin wrappers over the generalized growth planner (schedule.h):
+// an ExpansionStage is a GrowthStep with no fixed adds and no rewiring cap.
+//
+// Compatibility note: the clos wrapper is rng-free and bit-compatible with
+// the pre-unification implementation. The jellyfish wrapper now threads one
+// sequential rng stream through the build and every splice (the schedule.h
+// discipline, shared with the jellyfish-incr topology family) instead of
+// the historical per-stage forked streams, so for a given seed it produces
+// a different — statistically equivalent — arc than before the
+// unification; stage costs and sizes are unchanged (they never depended on
+// the wiring draw).
 #pragma once
 
 #include <vector>
@@ -20,6 +32,7 @@
 #include "common/rng.h"
 #include "expansion/clos.h"
 #include "expansion/cost_model.h"
+#include "expansion/schedule.h"
 #include "topo/topology.h"
 
 namespace jf::expansion {
@@ -47,13 +60,6 @@ struct JellyfishPlan {
 struct ClosPlan {
   ClosConfig final_config;
   std::vector<StageResult> stages;
-};
-
-// Initial build parameters shared by both planners.
-struct InitialBuild {
-  int switches = 34;
-  int ports_per_switch = 24;
-  int servers = 480;
 };
 
 // Runs the Jellyfish planner over the arc. Rack switches host

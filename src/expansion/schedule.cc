@@ -1,0 +1,308 @@
+#include "expansion/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "flow/bisection.h"
+#include "topo/jellyfish.h"
+
+namespace jf::expansion {
+
+namespace {
+
+// Cost of the splice work actually performed (paper's model: each swap
+// displaces one existing cable — detach labor — and adds two new cables; a
+// direct attachment is one new cable). Billing the performed operations
+// rather than the intended degree keeps rewire-capped and saturated steps
+// honest: a port that found no home costs nothing.
+double jellyfish_splice_cost(const topo::ExpandOps& ops, const CostModel& costs) {
+  return ops.swaps * (costs.detach_cost() + 2 * costs.new_cable_cost()) +
+         ops.attaches * costs.new_cable_cost();
+}
+
+int jellyfish_cables_touched(const topo::ExpandOps& ops) {
+  return ops.swaps * 3 + ops.attaches;  // one detach + two attaches per swap
+}
+
+// Cost of a planned splice of `degree` network links, for the budget-buy
+// affordability test (degree / 2 swaps plus one odd-port attachment).
+double planned_splice_cost(int degree, const CostModel& costs) {
+  const topo::ExpandOps planned{degree / 2, degree % 2};
+  return jellyfish_splice_cost(planned, costs);
+}
+
+// Best feasible initial Clos for the build: the edge/spine split of the
+// same switch count hosting the required servers with the highest
+// bisection. Infeasible builds return edge == 0 (checked by both the
+// schedule validator and the planner).
+ClosConfig initial_clos_config(const InitialBuild& initial) {
+  ClosConfig cfg;
+  double best_bis = -1.0;
+  for (int e = 1; e < initial.switches; ++e) {
+    const int s = initial.switches - e;
+    const int d = (initial.servers + e - 1) / e;
+    ClosConfig cand{e, s, d, initial.ports_per_switch};
+    if (!cand.feasible() || cand.servers() < initial.servers) continue;
+    if (cand.normalized_bisection() > best_bis) {
+      best_bis = cand.normalized_bisection();
+      cfg = cand;
+    }
+  }
+  return cfg;
+}
+
+// Largest splice degree (<= want) whose detach count fits the remaining
+// rewiring budget: degree d detaches d / 2 cables, so the cap is
+// 2 * remaining + 1 (the odd port attaches to a free port, detaching none).
+int capped_degree(int want, long long rewire_left) {
+  if (rewire_left >= want / 2) return want;
+  return static_cast<int>(std::min<long long>(want, 2 * rewire_left + 1));
+}
+
+GrowthPlan plan_growth_jellyfish(const GrowthSchedule& sched,
+                                 const std::vector<GrowthStep>& steps,
+                                 const CostModel& costs, Rng& rng,
+                                 const GrowthPlanOptions& opts) {
+  const InitialBuild& initial = sched.initial;
+  check(initial.switches >= 2 && initial.servers >= 0, "plan_growth: bad initial build");
+  const int k = initial.ports_per_switch;
+  const bool uniform = sched.network_degree > 0;
+
+  GrowthPlan plan;
+  if (uniform) {
+    plan.topology = topo::build_jellyfish(
+        {.num_switches = initial.switches, .ports_per_switch = k,
+         .network_degree = sched.network_degree},
+        rng);
+  } else {
+    plan.topology = topo::build_jellyfish_with_servers(initial.switches, k, initial.servers, rng);
+  }
+  topo::Topology& topo = plan.topology;
+
+  // Switch shapes: rack switches host servers (capped at the remaining
+  // obligation), fixed adds replicate the growth regime, budget buys are
+  // network-only. In the uniform regime every added switch looks like the
+  // initial ones.
+  const int servers_per_rack =
+      uniform ? k - sched.network_degree
+              : std::max(1, static_cast<int>(std::lround(static_cast<double>(initial.servers) /
+                                                         initial.switches)));
+  const int add_degree = uniform ? sched.network_degree : k;
+  const int add_servers = uniform ? k - sched.network_degree : 0;
+
+  // Stage 0 = initial build: switches + all cables + server attachments.
+  double cumulative = costs.switch_cost(k) * topo.num_switches() +
+                      costs.new_cable_cost() *
+                          static_cast<double>(topo.switches().num_edges() + topo.num_servers());
+  plan.steps.push_back({0, cumulative, cumulative, topo.num_switches(), topo.num_servers(),
+                        0, 0, 0.0});
+
+  std::vector<topo::Topology> snapshots;
+  if (opts.score_bisection) snapshots.push_back(topo);
+
+  for (std::size_t si = 0; si < steps.size(); ++si) {
+    const GrowthStep& step = steps[si];
+    double remaining = step.budget;
+    double spent = 0.0;
+    int touched = 0;
+    int rewired = 0;
+    long long rewire_left =
+        step.rewire_limit < 0 ? std::numeric_limits<long long>::max() : step.rewire_limit;
+
+    auto splice = [&](int degree, int servers) {
+      topo::ExpandOps ops;
+      topo::expand_add_switch(topo, k, degree, servers, rng, &ops);
+      const double cost = costs.switch_cost(k) + jellyfish_splice_cost(ops, costs) +
+                          costs.new_cable_cost() * servers;
+      rewired += ops.swaps;
+      rewire_left -= ops.swaps;
+      touched += jellyfish_cables_touched(ops) + servers;
+      spent += cost;
+      remaining -= cost;
+    };
+
+    // 1. Server obligation: rack switches until the target is hosted (the
+    // obligation overrides both the money and the rewiring budget; the cap
+    // only shrinks the splice degree).
+    while (topo.num_servers() < step.min_servers) {
+      const int servers = std::min(servers_per_rack, step.min_servers - topo.num_servers());
+      const int degree = uniform ? sched.network_degree : k - servers;
+      splice(capped_degree(degree, rewire_left), servers);
+    }
+
+    // 2. Fixed adds: incr-style unconditional growth.
+    for (int i = 0; i < step.add_switches; ++i) {
+      splice(capped_degree(add_degree, rewire_left), add_servers);
+    }
+
+    // 3. Budget buys: network-only switches while both the money and the
+    // rewiring budget allow a useful (degree >= 2) splice. Affordability is
+    // judged on the planned splice; the actual spend (possibly lower, when
+    // the network cannot absorb every port) is what splice() deducts.
+    while (true) {
+      const int degree = capped_degree(k, rewire_left);
+      if (degree < 2) break;
+      if (remaining < costs.switch_cost(k) + planned_splice_cost(degree, costs)) break;
+      splice(degree, 0);
+    }
+
+    cumulative += spent;
+    plan.steps.push_back({static_cast<int>(si) + 1, spent, cumulative, topo.num_switches(),
+                          topo.num_servers(), rewired, touched, 0.0});
+    if (opts.score_bisection) snapshots.push_back(topo);
+  }
+
+  // Bisection scoring runs over the per-step snapshots on borrowed workers.
+  // Each step forks its own KL stream from the planner seed and results are
+  // placed by index, so the estimates are bit-identical at any worker count
+  // and leave the growth stream untouched.
+  if (opts.score_bisection) {
+    parallel::parallel_for(static_cast<int>(snapshots.size()), opts.budget, [&](int i) {
+      Rng kl = rng.fork(100 + static_cast<std::uint64_t>(i));
+      plan.steps[static_cast<std::size_t>(i)].normalized_bisection =
+          flow::estimated_normalized_bisection(snapshots[static_cast<std::size_t>(i)], kl,
+                                               opts.kl_restarts);
+    });
+  }
+  return plan;
+}
+
+GrowthPlan plan_growth_clos(const GrowthSchedule& sched, const std::vector<GrowthStep>& steps,
+                            const CostModel& costs) {
+  const InitialBuild& initial = sched.initial;
+  const int k = initial.ports_per_switch;
+
+  // Initial Clos: split the same switch count into edge + spine hosting the
+  // required servers with the best feasible bisection (existence already
+  // guaranteed by resolve_growth_steps).
+  ClosConfig cfg = initial_clos_config(initial);
+  check(cfg.edge > 0, "plan_growth: no feasible initial Clos");
+
+  GrowthPlan plan;
+  double cumulative = costs.switch_cost(k) * cfg.switches() +
+                      costs.new_cable_cost() *
+                          static_cast<double>(cfg.edge * cfg.up() + cfg.servers());
+  // The folded Clos bisection is known in closed form (uplink capacity /
+  // server capacity); KL on the collapsed simple graph would undercount
+  // parallel cables, so the analytic value is always used.
+  plan.steps.push_back({0, cumulative, cumulative, cfg.switches(), cfg.servers(), 0, 0,
+                        cfg.normalized_bisection()});
+
+  for (std::size_t si = 0; si < steps.size(); ++si) {
+    const GrowthStep& step = steps[si];
+    double spent = 0.0;
+    const int servers_needed = std::max(step.min_servers, cfg.servers());
+    ClosConfig next =
+        best_clos_upgrade(cfg, servers_needed, step.budget, costs, &spent, step.rewire_limit);
+    const auto [added, removed] = cable_delta(cfg, next);
+    // New server attachments are cabling work too.
+    const int new_servers = std::max(0, next.servers() - cfg.servers());
+    spent += costs.new_cable_cost() * new_servers;
+    cfg = next;
+    cumulative += spent;
+    plan.steps.push_back({static_cast<int>(si) + 1, spent, cumulative, cfg.switches(),
+                          cfg.servers(), removed, added + removed + new_servers,
+                          cfg.normalized_bisection()});
+  }
+  plan.clos = cfg;
+  plan.topology = build_clos(cfg);
+  return plan;
+}
+
+}  // namespace
+
+std::vector<GrowthStep> resolve_growth_steps(const GrowthSchedule& sched) {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("growth schedule: " + msg); };
+  const InitialBuild& initial = sched.initial;
+  if (initial.switches < 2) fail("initial.switches must be >= 2");
+  if (initial.ports_per_switch < 1) fail("initial.ports must be >= 1");
+  if (initial.servers < 0) fail("initial.servers must be >= 0");
+  if (sched.network_degree < 0 || sched.network_degree > initial.ports_per_switch) {
+    fail("network_degree must be in [0, initial.ports]");
+  }
+  if (sched.network_degree > 0) {
+    const int derived =
+        initial.switches * (initial.ports_per_switch - sched.network_degree);
+    if (initial.servers != 0 && initial.servers != derived) {
+      fail("initial.servers contradicts network_degree (uniform regime hosts " +
+           std::to_string(derived) + " servers; set servers to that or 0)");
+    }
+  }
+  if (sched.policy != "jellyfish" && sched.policy != "clos") {
+    fail("unknown policy '" + sched.policy + "' (expected jellyfish or clos)");
+  }
+  // Initial-build feasibility, so an unbuildable schedule fails at
+  // validation time (with the loader's context path) instead of from a
+  // worker thread mid-batch.
+  if (sched.policy == "jellyfish") {
+    if (sched.network_degree >= initial.switches) {
+      fail("network_degree must be < initial.switches (simple graph)");
+    }
+    if (sched.network_degree == 0 &&
+        initial.servers > initial.switches * (initial.ports_per_switch - 1)) {
+      fail("initial.servers exceeds the port budget (needs <= switches * (ports - 1))");
+    }
+  } else if (initial_clos_config(initial).edge == 0) {
+    fail("no feasible initial Clos hosts initial.servers on initial.switches");
+  }
+  for (std::size_t i = 0; i < sched.steps.size(); ++i) {
+    const GrowthStep& s = sched.steps[i];
+    if (s.add_switches < 0 || s.min_servers < 0 || s.budget < 0 || s.rewire_limit < -1) {
+      fail("steps[" + std::to_string(i) + "] has a negative field");
+    }
+  }
+
+  std::vector<GrowthStep> steps;
+  if (!sched.steps.empty()) {
+    if (sched.target_switches != 0) {
+      fail("explicit steps and target_switches are mutually exclusive");
+    }
+    steps = sched.steps;
+  } else if (sched.target_switches != 0) {
+    if (sched.target_switches < initial.switches) {
+      fail("target_switches below the initial switch count");
+    }
+    if (sched.step_switches < 1) fail("step_switches must be >= 1");
+    for (int n = initial.switches; n < sched.target_switches;) {
+      const int add = std::min(sched.step_switches, sched.target_switches - n);
+      steps.push_back({add, 0, 0.0, sched.rewire_limit});
+      n += add;
+    }
+  }
+  // A uniform regime with network_degree == ports hosts zero servers per
+  // switch, so a server obligation could never be met — the rack-add loop
+  // would grow the network forever. Reject it structurally.
+  if (sched.network_degree == initial.ports_per_switch) {
+    for (const GrowthStep& s : steps) {
+      if (s.min_servers > 0) {
+        fail("network_degree equals ports (switches host no servers), so "
+             "min_servers can never be satisfied");
+      }
+    }
+  }
+  // Clos growth is budget/server driven: validated here (not at plan time)
+  // so a bad policy/schedule combination — including one introduced by a
+  // per-topology growth_policy override or a swept field — fails before any
+  // evaluation starts.
+  if (sched.policy == "clos") {
+    if (sched.network_degree != 0) fail("clos policy ignores network_degree; set 0");
+    for (const GrowthStep& s : steps) {
+      if (s.add_switches != 0) {
+        fail("clos policy is budget/server driven (add_switches must be 0)");
+      }
+    }
+  }
+  return steps;
+}
+
+GrowthPlan plan_growth(const GrowthSchedule& sched, const CostModel& costs, Rng& rng,
+                       const GrowthPlanOptions& opts) {
+  const std::vector<GrowthStep> steps = resolve_growth_steps(sched);
+  if (sched.policy == "clos") return plan_growth_clos(sched, steps, costs);
+  return plan_growth_jellyfish(sched, steps, costs, rng, opts);
+}
+
+}  // namespace jf::expansion

@@ -185,12 +185,14 @@ Topology build_jellyfish_with_servers(int num_switches, int ports_per_switch, in
                   std::move(g), std::move(ports), std::move(servers));
 }
 
-NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int servers, Rng& rng) {
+NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int servers, Rng& rng,
+                         ExpandOps* ops) {
   check(network_degree >= 0 && servers >= 0 && network_degree + servers <= ports,
         "expand_add_switch: bad port budget");
   graph::Graph& g = topo.mutable_switches();
   const NodeId u = topo.add_switch(ports, servers);
   int free = std::min(network_degree, g.num_nodes() - 1);
+  ExpandOps done;
 
   constexpr int kSwapTries = 256;
   int stuck = 0;
@@ -205,6 +207,7 @@ NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int serv
     g.add_edge(u, v);
     g.add_edge(u, w);
     free -= 2;
+    ++done.swaps;
     stuck = 0;
   }
 
@@ -218,8 +221,10 @@ NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int serv
     if (candidates.empty()) break;  // leave the port free, as the paper allows
     g.add_edge(u, rng.pick(candidates));
     --free;
+    ++done.attaches;
   }
   topo.validate();
+  if (ops != nullptr) *ops = done;
   return u;
 }
 

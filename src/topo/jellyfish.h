@@ -49,14 +49,25 @@ using EdgePredicate = std::function<bool(NodeId, NodeId)>;
 int complete_random_matching(graph::Graph& g, std::vector<int>& free_ports, Rng& rng,
                              const EdgePredicate& allowed = nullptr);
 
+// Cabling work actually performed by one expansion splice (for cost
+// accounting): each swap detaches one existing cable and attaches two new
+// ones; `attaches` counts only the direct free-port attachments beyond the
+// swaps. Ports that found no home (saturated network, no free ports) are
+// left free and appear in neither count.
+struct ExpandOps {
+  int swaps = 0;
+  int attaches = 0;
+};
+
 // Incremental expansion (§4.2): adds one switch with `ports` total ports,
 // `network_degree` of them wired into the interconnect and `servers` hosting
 // servers. While the new switch has >= 2 unfilled network ports, a random
 // existing link (v, w) with v, w not already adjacent to it is removed and
 // replaced by (u, v), (u, w). A final odd port is matched to an existing
 // free port when possible, else left free (both options the paper allows).
-// Returns the new switch id.
-NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int servers, Rng& rng);
+// Returns the new switch id; `ops`, when given, receives the work done.
+NodeId expand_add_switch(Topology& topo, int ports, int network_degree, int servers, Rng& rng,
+                         ExpandOps* ops = nullptr);
 
 // Convenience: grows the network by `count` identical switches.
 void expand_add_switches(Topology& topo, int count, int ports, int network_degree, int servers,

@@ -196,8 +196,9 @@ TEST(Serialize, ReportRoundTripPreservesSamplesAndAggregates) {
 
 TEST(Serialize, ShippedScenarioFilesLoadAndExpand) {
   const char* files[] = {"fig02a.json", "fig02b.json", "fig02c.json", "fig04.json",
-                         "fig05.json",  "fig06.json",  "fig09_ksp.json",
-                         "cabling.json", "sim_smoke.json", "smoke.json"};
+                         "fig05.json",  "fig06.json",  "fig07.json",  "fig08.json",
+                         "fig09_ksp.json", "cabling.json", "growth_smoke.json",
+                         "sim_smoke.json", "smoke.json"};
   for (const char* f : files) {
     SCOPED_TRACE(f);
     eval::SweepSpec spec;
