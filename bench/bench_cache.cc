@@ -1,0 +1,139 @@
+// Result-store warm-up benchmark — the perf record for the persistent
+// content-addressed cell cache.
+//
+// Runs one scenario twice against a fresh cache directory: a cold pass that
+// solves and persists every cell, then a warm pass that must splice every
+// cell from disk (solved == 0, enforced). Emits BENCH_cache.json with both
+// wall times and the resulting speedup, plus the store's size, so the
+// record shows what resumable sweeps actually buy. The two reports are
+// compared for byte-identity — a mismatch is a determinism bug, not a perf
+// number. Run from the repo root:
+//
+//   ./build/bench_cache [--scenario scenarios/fig02a.json] [--threads N]
+//                       [--out BENCH_cache.json]
+//
+// The warm pass is pure deserialization, so unlike the scaling benches this
+// record is meaningful even on a 1-core box; hardware_concurrency is still
+// stamped so numbers from different machines are distinguishable.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "eval/serialize.h"
+#include "eval/sweep.h"
+#include "store/result_store.h"
+
+namespace {
+
+using namespace jf;
+
+double sweep_seconds(const eval::SweepSpec& spec, const eval::EngineOptions& opts,
+                     std::string& report_bytes) {
+  const auto start = std::chrono::steady_clock::now();
+  eval::SweepReport report = eval::run_sweep(spec, opts);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  report_bytes = eval::sweep_report_to_json(report).dump(2);
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path = JF_SCENARIO_DIR "/fig02a.json";
+  std::string out_path = "BENCH_cache.json";
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_cache: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario_path = value();
+    } else if (arg == "--threads") {
+      threads = std::atoi(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::cerr << "usage: bench_cache [--scenario FILE] [--threads N] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  try {
+    const eval::SweepSpec spec = eval::load_sweep_file(scenario_path);
+    const std::filesystem::path cache_root =
+        std::filesystem::temp_directory_path() /
+        ("jf-bench-cache-" + std::to_string(static_cast<unsigned>(::getpid())));
+    std::filesystem::remove_all(cache_root);
+    store::ResultStore store(cache_root);
+
+    eval::BatchStats stats;
+    eval::EngineOptions opts;
+    opts.threads = threads;
+    opts.store = &store;
+    opts.stats = &stats;
+
+    std::string cold_report;
+    const double cold = sweep_seconds(spec, opts, cold_report);
+    const eval::BatchStats cold_stats = stats;
+    std::cerr << "cold: " << cold << " s  (cells " << cold_stats.cells << ", solved "
+              << cold_stats.solved << ")\n";
+
+    std::string warm_report;
+    const double warm = sweep_seconds(spec, opts, warm_report);
+    const eval::BatchStats warm_stats = stats;
+    std::cerr << "warm: " << warm << " s  (store_hits " << warm_stats.store_hits
+              << ", solved " << warm_stats.solved << ")\n";
+
+    const std::uint64_t store_bytes = store.total_bytes();
+    std::filesystem::remove_all(cache_root);
+
+    if (warm_report != cold_report) {
+      std::cerr << "bench_cache: warm report differs from cold — determinism bug\n";
+      return 1;
+    }
+    if (warm_stats.solved != 0) {
+      std::cerr << "bench_cache: warm pass solved " << warm_stats.solved
+                << " cells (expected 0) — cache-key instability\n";
+      return 1;
+    }
+
+    json::Object root;
+    root.emplace_back("benchmark", "cache_warm");
+    root.emplace_back("scenario", scenario_path);
+    root.emplace_back("threads", threads);
+    root.emplace_back("hardware_concurrency",
+                      static_cast<int>(std::thread::hardware_concurrency()));
+    root.emplace_back("cells", cold_stats.cells);
+    root.emplace_back("solved_cold", cold_stats.solved);
+    root.emplace_back("solved_warm", warm_stats.solved);
+    root.emplace_back("store_hits_warm", warm_stats.store_hits);
+    root.emplace_back("store_bytes", static_cast<double>(store_bytes));
+    root.emplace_back("cold_seconds", cold);
+    root.emplace_back("warm_seconds", warm);
+    root.emplace_back("speedup", warm > 0 ? cold / warm : 0.0);
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "bench_cache: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << json::Value(std::move(root)).dump(2) << "\n";
+    std::cerr << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_cache: error: " << e.what() << "\n";
+    return 1;
+  }
+}

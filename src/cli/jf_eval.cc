@@ -5,6 +5,8 @@
 //
 //   jf_eval run scenarios/fig02a.json --threads 8 --out r.json
 //   jf_eval run scenarios/smoke.json --format csv
+//   jf_eval run scenarios/fig02a.json --cache-dir ~/.cache/jf   # incremental
+//   jf_eval serve --queue /srv/jf/queue --cache-dir /srv/jf/cache
 //   jf_eval print scenarios/fig04.json     # validate + list sweep points
 //   jf_eval list                           # families, schemes, metrics, axes
 //
@@ -12,23 +14,38 @@
 // renders the result per --format: "table" (aligned aggregates), "csv"
 // (machine-greppable lines), or "json" (full per-seed samples + aggregates).
 // With --out the rendering goes to the file (default json); without it, to
-// stdout (default table). Reports are byte-identical at any --threads.
+// stdout (default table). Reports are byte-identical at any --threads, and
+// — with --cache-dir — whether the result store is absent, cold, or warm.
+//
+// `serve` turns the farm into a long-running service: scenario files
+// dropped into the queue directory are executed in filename order on one
+// process-warm engine and result store, reports land in <queue>/reports/,
+// processed files move to <queue>/done/ (or <queue>/failed/), and one
+// status line per job goes to stdout.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/fs.h"
 #include "common/table.h"
 #include "eval/serialize.h"
 #include "eval/sweep.h"
 #include "eval/topology_factory.h"
 #include "routing/path_provider.h"
+#include "store/result_store.h"
 
 namespace {
 
 using namespace jf;
+namespace fs = std::filesystem;
 
 int usage(std::ostream& os, int code) {
   os << "usage: jf_eval <command> [args]\n"
@@ -36,6 +53,7 @@ int usage(std::ostream& os, int code) {
         "commands:\n"
         "  run <scenario.json> [--threads N] [--sim-shards N] [--out FILE]\n"
         "                      [--format table|csv|json] [--quiet]\n"
+        "                      [--cache-dir DIR] [--cache-budget-mb N]\n"
         "      Execute the scenario (or sweep) and render the report.\n"
         "      --threads N   global worker budget shared by concurrent cells and\n"
         "                    within-cell solvers (0 = hardware concurrency);\n"
@@ -45,7 +63,23 @@ int usage(std::ostream& os, int code) {
         "                    any value — this is the CI determinism-gate hook)\n"
         "      --out FILE    write the report to FILE (default format: json)\n"
         "      --format F    report rendering; default json with --out, else table\n"
-        "      --quiet       suppress per-point progress lines on stderr\n"
+        "      --quiet       suppress progress/stats lines on stderr\n"
+        "      --cache-dir DIR  persistent content-addressed result store: cells\n"
+        "                    already solved (by any earlier run sharing the dir)\n"
+        "                    are spliced from disk instead of re-solved, so\n"
+        "                    re-running an edited sweep recomputes only changed\n"
+        "                    points. Reports are byte-identical with the cache\n"
+        "                    absent, cold, or warm.\n"
+        "      --cache-budget-mb N  evict least-recently-used cache entries past\n"
+        "                    N megabytes (default: unlimited)\n"
+        "  serve --queue DIR [--out-dir DIR] [--cache-dir DIR] [--cache-budget-mb N]\n"
+        "                    [--threads N] [--poll-ms MS] [--once] [--quiet]\n"
+        "      Watch DIR for scenario files (*.json, filename order) and run each\n"
+        "      on one warm engine + result store. Per job: report JSON in\n"
+        "      --out-dir (default DIR/reports), the scenario file moves to\n"
+        "      DIR/done (DIR/failed on error), one status line on stdout.\n"
+        "      --once drains the queue and exits (instead of polling forever,\n"
+        "      default every 500 ms).\n"
         "  print <scenario.json>\n"
         "      Validate the file and list the expanded sweep points (dry run).\n"
         "  list\n"
@@ -68,10 +102,39 @@ std::string render(const eval::SweepReport& report, const std::string& format) {
   return out.str();
 }
 
+// One greppable accounting line per executed batch; keys are stable (CI's
+// cold-vs-warm gate asserts on "solved=0"). Deliberately on stderr: report
+// bytes must not depend on cache state.
+std::string stats_line(const eval::BatchStats& st, const store::ResultStore* store) {
+  std::string line = "[stats] cells=" + std::to_string(st.cells) +
+                     " solved=" + std::to_string(st.solved) +
+                     " memo_hits=" + std::to_string(st.memo_hits) +
+                     " store_hits=" + std::to_string(st.store_hits);
+  if (store != nullptr) {
+    line += " store_entries=" + std::to_string(store->entry_count()) +
+            " store_bytes=" + std::to_string(store->total_bytes());
+  }
+  return line;
+}
+
+std::unique_ptr<store::ResultStore> open_store(const std::string& dir, int budget_mb) {
+  if (dir.empty()) {
+    if (budget_mb > 0) {
+      throw std::invalid_argument("--cache-budget-mb needs --cache-dir");
+    }
+    return nullptr;
+  }
+  store::StoreOptions opts;
+  if (budget_mb > 0) opts.max_bytes = static_cast<std::uint64_t>(budget_mb) * 1024 * 1024;
+  return std::make_unique<store::ResultStore>(fs::path(dir), opts);
+}
+
 int cmd_run(int argc, char** argv) {
   std::string path;
   std::string out_path;
   std::string format;
+  std::string cache_dir;
+  int cache_budget_mb = 0;
   int threads = 0;
   int sim_shards = 0;
   bool quiet = false;
@@ -90,6 +153,13 @@ int cmd_run(int argc, char** argv) {
       out_path = value();
     } else if (arg == "--format") {
       format = value();
+    } else if (arg == "--cache-dir") {
+      cache_dir = value();
+    } else if (arg == "--cache-budget-mb") {
+      cache_budget_mb = std::atoi(value());
+      if (cache_budget_mb < 1) {
+        throw std::invalid_argument("--cache-budget-mb needs a value >= 1");
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -130,8 +200,14 @@ int cmd_run(int argc, char** argv) {
                 << point.report.samples.size() << " samples, " << secs << "s)\n";
     };
   }
-  eval::SweepReport report =
-      eval::run_sweep(spec, {.threads = threads}, progress);
+  auto store = open_store(cache_dir, cache_budget_mb);
+  eval::BatchStats stats;
+  eval::EngineOptions opts;
+  opts.threads = threads;
+  opts.store = store.get();
+  opts.stats = &stats;
+  eval::SweepReport report = eval::run_sweep(spec, opts, progress);
+  if (!quiet) std::cerr << stats_line(stats, store.get()) << "\n";
 
   const std::string rendered = render(report, format);
   if (out_path.empty()) {
@@ -143,6 +219,136 @@ int cmd_run(int argc, char** argv) {
     if (!quiet) {
       std::cerr << "wrote " << rendered.size() << " bytes (" << format << ") to "
                 << out_path << "\n";
+    }
+  }
+  return 0;
+}
+
+// --- serve mode ---
+
+// Scenario files directly inside the queue directory, filename-sorted so
+// job order is deterministic and controllable (prefix files with 00-, 01-,
+// ... to prioritize).
+std::vector<fs::path> queued_jobs(const fs::path& queue) {
+  std::vector<fs::path> jobs;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(queue, ec)) {
+    if (!e.is_regular_file()) continue;
+    if (e.path().extension() != ".json") continue;
+    jobs.push_back(e.path());
+  }
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+// Moves a processed scenario out of the queue; on a same-name collision the
+// existing file is replaced (re-submitting a scenario is idempotent).
+void move_job(const fs::path& from, const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path to = dir / from.filename();
+  fs::remove(to, ec);
+  fs::rename(from, to, ec);
+  if (ec) {
+    // Cross-device queue layouts (out dirs on another mount): copy+remove.
+    fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
+    fs::remove(from, ec);
+  }
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string queue_dir;
+  std::string out_dir;
+  std::string cache_dir;
+  int cache_budget_mb = 0;
+  int threads = 0;
+  int poll_ms = 500;
+  bool once = false;
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--queue") {
+      queue_dir = value();
+    } else if (arg == "--out-dir") {
+      out_dir = value();
+    } else if (arg == "--cache-dir") {
+      cache_dir = value();
+    } else if (arg == "--cache-budget-mb") {
+      cache_budget_mb = std::atoi(value());
+      if (cache_budget_mb < 1) {
+        throw std::invalid_argument("--cache-budget-mb needs a value >= 1");
+      }
+    } else if (arg == "--threads") {
+      threads = std::atoi(value());
+    } else if (arg == "--poll-ms") {
+      poll_ms = std::atoi(value());
+      if (poll_ms < 1) throw std::invalid_argument("--poll-ms needs a value >= 1");
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      throw std::invalid_argument("unknown serve argument '" + arg + "'");
+    }
+  }
+  if (queue_dir.empty()) throw std::invalid_argument("serve: missing --queue DIR");
+  const fs::path queue(queue_dir);
+  fs::create_directories(queue);
+  const fs::path reports = out_dir.empty() ? queue / "reports" : fs::path(out_dir);
+  fs::create_directories(reports);
+
+  // One store for the whole service: every job shares (and extends) the warm
+  // cache, so resubmitting a scenario — or submitting one that overlaps an
+  // earlier sweep's cells — splices from disk instead of re-solving.
+  auto store = open_store(cache_dir, cache_budget_mb);
+  if (!quiet) {
+    std::cout << "[serve] watching " << queue.string() << " (reports -> "
+              << reports.string() << ", cache "
+              << (store ? store->root().string() : std::string("off")) << ")\n"
+              << std::flush;
+  }
+
+  while (true) {
+    const auto jobs = queued_jobs(queue);
+    if (jobs.empty()) {
+      if (once) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      continue;
+    }
+    for (const fs::path& job : jobs) {
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        eval::SweepSpec spec = eval::load_sweep_file(job.string());
+        eval::BatchStats stats;
+        eval::EngineOptions opts;
+        opts.threads = threads;
+        opts.store = store.get();
+        opts.stats = &stats;
+        eval::SweepReport report = eval::run_sweep(spec, opts);
+        const fs::path out = reports / (job.stem().string() + ".report.json");
+        common::write_file_atomic(out, eval::sweep_report_to_json(report).dump(2) + "\n");
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        std::ostringstream line;
+        line << "[serve] " << job.filename().string() << ": ok points="
+             << report.points.size() << " cells=" << stats.cells
+             << " solved=" << stats.solved << " memo_hits=" << stats.memo_hits
+             << " store_hits=" << stats.store_hits << " (" << secs << "s) -> "
+             << out.string();
+        std::cout << line.str() << "\n" << std::flush;
+        move_job(job, queue / "done");
+      } catch (const std::exception& e) {
+        // One bad scenario must not take the service down: report, park the
+        // file in failed/, move on.
+        std::cout << "[serve] " << job.filename().string() << ": error: " << e.what()
+                  << "\n"
+                  << std::flush;
+        move_job(job, queue / "failed");
+      }
     }
   }
   return 0;
@@ -196,6 +402,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "print") return cmd_print(argc - 2, argv + 2);
     if (cmd == "list") return cmd_list();
     if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(std::cout, 0);

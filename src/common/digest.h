@@ -1,0 +1,39 @@
+// Content digests for the persistent result store.
+//
+// The store content-addresses evaluation cells by a digest of their
+// canonical configuration bytes (see store/result_store.h). A digest
+// collision would silently splice one cell's samples into another cell's
+// result slot, so this is SHA-256 — not a fast non-cryptographic hash —
+// and store entries additionally carry the full key for verification on
+// load. Self-contained (FIPS 180-4), no external dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jf::common {
+
+// Incremental SHA-256. For one-shot use, prefer sha256_hex().
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::string_view bytes);
+  // Finalizes and returns the 32-byte digest. The object must not be
+  // updated afterwards.
+  std::array<std::uint8_t, 32> finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// SHA-256 of `bytes` as 64 lowercase hex characters.
+std::string sha256_hex(std::string_view bytes);
+
+}  // namespace jf::common

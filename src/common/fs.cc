@@ -1,0 +1,60 @@
+#include "common/fs.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace jf::common {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read file '" + path.string() + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("error reading file '" + path.string() + "'");
+  return std::move(buf).str();
+}
+
+std::optional<std::string> try_read_file(const std::filesystem::path& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+void write_file_atomic(const std::filesystem::path& path, std::string_view bytes) {
+  namespace fs = std::filesystem;
+  const fs::path dir = path.parent_path();
+  if (!dir.empty()) fs::create_directories(dir);
+  // Unique per process and per call: concurrent writers (worker threads
+  // persisting different cells into one directory) must not share a temp.
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path tmp =
+      path.string() + ".tmp." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write temp file '" + tmp.string() + "'");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("error writing temp file '" + tmp.string() + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    throw std::runtime_error("cannot rename '" + tmp.string() + "' to '" + path.string() +
+                             "': " + ec.message());
+  }
+}
+
+}  // namespace jf::common

@@ -1,6 +1,7 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -8,8 +9,10 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/digest.h"
 #include "common/parallel.h"
 #include "eval/serialize.h"
+#include "store/result_store.h"
 #include "eval/topology_factory.h"
 #include "expansion/cost_model.h"
 #include "expansion/schedule.h"
@@ -552,6 +555,49 @@ std::string cell_key(const Scenario& s, const Cell& cell) {
          std::to_string(cell.routing) + "," + std::to_string(cell.seed);
 }
 
+// --- persistent store glue ---
+//
+// The store maps sha256(schema version + full cell key) to a JSON payload
+// {"schema", "key", "samples"}. The digest mixes in kReportSchemaVersion so
+// a format/semantics bump makes every old entry unreachable (it ages out
+// via LRU), and loads verify the echoed schema and full key anyway — a
+// digest collision or a corrupt/foreign blob degrades to a miss and a
+// recompute, never to spliced-in wrong samples.
+
+std::string cell_digest(const std::string& key) {
+  return common::sha256_hex("jf-cell/v" + std::to_string(kReportSchemaVersion) + "\n" + key);
+}
+
+std::string cell_payload(const std::string& key, const std::vector<Sample>& samples) {
+  json::Object o;
+  o.emplace_back("schema", kReportSchemaVersion);
+  o.emplace_back("key", key);
+  o.emplace_back("samples", samples_to_json(samples));
+  return json::Value(std::move(o)).dump();
+}
+
+std::optional<std::vector<Sample>> load_cached_cell(store::ResultStore& store,
+                                                    const std::string& key,
+                                                    const std::string& digest) {
+  auto bytes = store.get(digest);
+  if (!bytes) return std::nullopt;
+  try {
+    const json::Value v = json::Value::parse(*bytes);
+    const json::Value* schema = v.find("schema");
+    const json::Value* stored_key = v.find("key");
+    const json::Value* samples = v.find("samples");
+    if (schema != nullptr && schema->as_int() == kReportSchemaVersion &&
+        stored_key != nullptr && stored_key->as_string() == key && samples != nullptr) {
+      return samples_from_json(*samples);
+    }
+  } catch (const std::exception&) {
+  }
+  // Torn, truncated, stale-schema, or colliding entry: drop it and let the
+  // caller recompute (which re-puts a good entry).
+  store.erase(digest);
+  return std::nullopt;
+}
+
 Report assemble_report(const Scenario& s, std::vector<std::vector<Sample>>& results) {
   Report report;
   report.scenario = s.name;
@@ -643,16 +689,18 @@ std::vector<Report> Engine::run_batch(
   };
   std::vector<CellRef> queue;
   std::vector<std::vector<CellRef>> followers;  // duplicates of queue[i]'s key
+  std::vector<std::string> keys;  // per queue entry; empty when nothing needs them
+  const bool want_keys = opts_.memoize_cells || opts_.store != nullptr;
   if (opts_.memoize_cells) {
     std::map<std::string, std::size_t> leader_of;  // key -> queue index
     for (std::size_t i = 0; i < runs.size(); ++i) {
       for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) {
-        const std::string key =
-            cell_key(*runs[i].s, runs[i].cells[static_cast<std::size_t>(c)]);
-        auto [it, inserted] = leader_of.try_emplace(key, queue.size());
+        std::string key = cell_key(*runs[i].s, runs[i].cells[static_cast<std::size_t>(c)]);
+        auto [it, inserted] = leader_of.try_emplace(std::move(key), queue.size());
         if (inserted) {
           queue.push_back({i, c});
           followers.emplace_back();
+          keys.push_back(it->first);
         } else {
           followers[it->second].push_back({i, c});
         }
@@ -660,20 +708,45 @@ std::vector<Report> Engine::run_batch(
     }
   } else {
     for (std::size_t i = 0; i < runs.size(); ++i) {
-      for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) queue.push_back({i, c});
+      for (int c = 0; c < static_cast<int>(runs[i].cells.size()); ++c) {
+        queue.push_back({i, c});
+        if (want_keys) {
+          keys.push_back(cell_key(*runs[i].s, runs[i].cells[static_cast<std::size_t>(c)]));
+        }
+      }
     }
     followers.resize(queue.size());
   }
 
   std::vector<Report> reports(scenarios.size());
+  std::atomic<int> solved_count{0};
+  std::atomic<int> store_hit_count{0};
   std::mutex done_mu;  // guards cells_left/done/next_emit and serializes on_done
   std::size_t next_emit = 0;
   parallel::parallel_for(static_cast<int>(queue.size()), &budget, [&](int i) {
     const CellRef ref = queue[static_cast<std::size_t>(i)];
     auto& p = runs[ref.run];
     const Cell& cell = p.cells[static_cast<std::size_t>(ref.cell)];
-    p.results[static_cast<std::size_t>(ref.cell)] =
-        run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+    auto& slot = p.results[static_cast<std::size_t>(ref.cell)];
+    // Persistent-store fast path: a verified hit splices exactly like the
+    // in-process leader/duplicate path below — same slot, same bytes —
+    // because stored samples round-trip bit-exactly through the JSON
+    // shortest-round-trip number format.
+    if (opts_.store != nullptr) {
+      const std::string& key = keys[static_cast<std::size_t>(i)];
+      const std::string digest = cell_digest(key);
+      if (auto cached = load_cached_cell(*opts_.store, key, digest)) {
+        slot = std::move(*cached);
+        store_hit_count.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+        solved_count.fetch_add(1, std::memory_order_relaxed);
+        opts_.store->put(digest, cell_payload(key, slot));
+      }
+    } else {
+      slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+      solved_count.fetch_add(1, std::memory_order_relaxed);
+    }
     // Splice into every duplicate cell's slot. No lock needed: each
     // follower slot is written exactly once, by this leader, before any
     // counter below can reach zero.
@@ -705,6 +778,17 @@ std::vector<Report> Engine::run_batch(
       ++next_emit;
     }
   });
+  // Persist the store's index eagerly: the entries themselves are already
+  // durable (atomic per-cell writes), this just saves their LRU order.
+  if (opts_.store != nullptr) opts_.store->flush();
+  if (opts_.stats != nullptr) {
+    BatchStats st;
+    for (const auto& p : runs) st.cells += static_cast<int>(p.cells.size());
+    st.solved = solved_count.load();
+    st.store_hits = store_hit_count.load();
+    st.memo_hits = st.cells - static_cast<int>(queue.size());
+    *opts_.stats = st;
+  }
   return reports;
 }
 

@@ -30,7 +30,22 @@
 #include "sim/workload.h"
 #include "topo/topology.h"
 
+namespace jf::store {
+class ResultStore;
+}
+
 namespace jf::eval {
+
+// Deterministic accounting for one run/run_batch call: how many result
+// slots there were and how each got filled. Counts depend only on the
+// scenarios and the persistent store's contents — never on thread
+// scheduling — so gates like "a warm re-run solves 0 cells" are exact.
+struct BatchStats {
+  int cells = 0;       // result slots across the batch (leaders + duplicates)
+  int solved = 0;      // cells actually executed by the measurement kernels
+  int memo_hits = 0;   // duplicate slots spliced from an in-batch leader cell
+  int store_hits = 0;  // leader cells loaded from the persistent result store
+};
 
 struct EngineOptions {
   // Global worker budget: concurrent cells plus the extra threads cells
@@ -53,6 +68,17 @@ struct EngineOptions {
   // the server-ramp axis never touches, evaluates once instead of once per
   // sweep point). Reports are byte-identical either way.
   bool memoize_cells = true;
+  // Persistent cell cache (not owned; may be null). Leader cells first look
+  // up their content digest — the SHA-256 of the canonical scenario-slice
+  // bytes, cell indices, seed, and kReportSchemaVersion — and splice the
+  // stored samples exactly like the in-process memoization path on a hit;
+  // on a miss the solved samples are persisted on completion. Entries that
+  // fail to parse or verify are dropped and recomputed, never trusted.
+  // Reports are byte-identical with the cache off, cold, or warm, at any
+  // thread count.
+  store::ResultStore* store = nullptr;
+  // When non-null, overwritten with this batch's accounting on return.
+  BatchStats* stats = nullptr;
 };
 
 class Engine {

@@ -657,17 +657,9 @@ SweepSpec load_sweep_file(const std::string& path) {
   return sweep_from_json(Value::parse(buf.str()));
 }
 
-Value report_to_json(const Report& r) {
-  Object o;
-  o.emplace_back("scenario", r.scenario);
-  Array topos;
-  for (const auto& label : r.topology_labels) topos.emplace_back(label);
-  o.emplace_back("topologies", Value(std::move(topos)));
-  Array routings;
-  for (const auto& label : r.routing_labels) routings.emplace_back(label);
-  o.emplace_back("routings", Value(std::move(routings)));
-  Array samples;
-  for (const auto& s : r.samples) {
+Value samples_to_json(const std::vector<Sample>& samples) {
+  Array out;
+  for (const auto& s : samples) {
     Array row;
     row.emplace_back(s.topology);
     row.emplace_back(s.routing);
@@ -675,9 +667,39 @@ Value report_to_json(const Report& r) {
     row.emplace_back(s.sample);
     row.emplace_back(s.metric);
     row.emplace_back(s.value);
-    samples.emplace_back(Value(std::move(row)));
+    out.emplace_back(Value(std::move(row)));
   }
-  o.emplace_back("samples", Value(std::move(samples)));
+  return Value(std::move(out));
+}
+
+std::vector<Sample> samples_from_json(const Value& v) {
+  std::vector<Sample> out;
+  for (const auto& row_v : v.as_array()) {
+    const Array& row = row_v.as_array();
+    if (row.size() != 6) throw std::runtime_error("json: sample rows have 6 entries");
+    Sample s;
+    s.topology = static_cast<int>(row[0].as_int());
+    s.routing = static_cast<int>(row[1].as_int());
+    s.seed = row[2].as_uint();
+    s.sample = static_cast<int>(row[3].as_int());
+    s.metric = row[4].as_string();
+    s.value = row[5].as_number();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Value report_to_json(const Report& r) {
+  Object o;
+  o.emplace_back("schema_version", kReportSchemaVersion);
+  o.emplace_back("scenario", r.scenario);
+  Array topos;
+  for (const auto& label : r.topology_labels) topos.emplace_back(label);
+  o.emplace_back("topologies", Value(std::move(topos)));
+  Array routings;
+  for (const auto& label : r.routing_labels) routings.emplace_back(label);
+  o.emplace_back("routings", Value(std::move(routings)));
+  o.emplace_back("samples", samples_to_json(r.samples));
   Array aggregates;
   for (const auto& row : r.aggregates()) {
     Object a;
@@ -699,6 +721,17 @@ Report report_from_json(const Value& v) {
   const std::string ctx = "report";
   ObjectReader r(v, ctx);
   Report out;
+  // Absent = a pre-versioning file; those predate every format change, so
+  // they are accepted. Any explicit mismatch is a hard error: the sample
+  // semantics may have shifted under the same shape.
+  int schema_version = kReportSchemaVersion;
+  r.read("schema_version", schema_version);
+  if (schema_version != kReportSchemaVersion) {
+    schema_error(ctx + ".schema_version",
+                 "unsupported schema_version " + std::to_string(schema_version) +
+                     " (this build reads version " +
+                     std::to_string(kReportSchemaVersion) + ")");
+  }
   r.read("scenario", out.scenario);
   if (const Value* topos = r.get("topologies")) {
     for (const auto& label : topos->as_array()) out.topology_labels.push_back(label.as_string());
@@ -709,18 +742,7 @@ Report report_from_json(const Value& v) {
     }
   }
   if (const Value* samples = r.get("samples")) {
-    for (const auto& row_v : samples->as_array()) {
-      const Array& row = row_v.as_array();
-      if (row.size() != 6) schema_error(ctx + ".samples", "sample rows have 6 entries");
-      Sample s;
-      s.topology = static_cast<int>(row[0].as_int());
-      s.routing = static_cast<int>(row[1].as_int());
-      s.seed = row[2].as_uint();
-      s.sample = static_cast<int>(row[3].as_int());
-      s.metric = row[4].as_string();
-      s.value = row[5].as_number();
-      out.samples.push_back(std::move(s));
-    }
+    out.samples = with_ctx(ctx + ".samples", [&] { return samples_from_json(*samples); });
   }
   r.get("aggregates");  // derived from samples; accepted and ignored
   r.done();

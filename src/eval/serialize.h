@@ -54,12 +54,22 @@ SweepSpec load_sweep_file(const std::string& path);
 
 // --- Report ---
 
-// {"scenario", "topologies", "routings",
+// {"schema_version", "scenario", "topologies", "routings",
 //  "samples": [[topology, routing, seed, sample, metric, value], ...],
 //  "aggregates": [{topology, routing, metric, mean, stddev, min, max, n}]}
 json::Value report_to_json(const Report& r);
 // Rebuilds a Report from its JSON (aggregates are recomputed from samples).
+// A "schema_version" different from kReportSchemaVersion is rejected with
+// std::invalid_argument — old report files must fail loudly, not mis-parse.
 Report report_from_json(const json::Value& v);
+
+// Raw sample rows <-> [[topology, routing, seed, sample, metric, value],
+// ...]. The same encoding report JSON uses for its "samples" key; also the
+// value payload format of the persistent result store's cell entries.
+// Round trips are exact: numbers use shortest-round-trip formatting, so a
+// parsed-back sample vector is bit-identical to the one serialized.
+json::Value samples_to_json(const std::vector<Sample>& samples);
+std::vector<Sample> samples_from_json(const json::Value& v);
 
 // {"name", "points": [{"label", "coords": [{"field", "value"}, ...],
 //                      "report": {...}}]}

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "expansion/schedule.h"
+#include "topo/degree_diameter.h"
 #include "topo/fattree.h"
 #include "topo/jellyfish.h"
 #include "topo/swdc.h"
@@ -59,6 +60,23 @@ const std::map<std::string, TopologyFactory>& builtins() {
          expansion::GrowthPlanOptions opts;
          opts.score_bisection = false;  // construction only; metrics score plans
          return expansion::plan_growth(sched, {}, rng, opts).topology;
+       }},
+      {"degree-diameter",
+       [](const TopologySpec& spec, Rng& rng) {
+         // Fig. 3's benchmark rows: best-known degree-diameter graphs
+         // (exact Petersen/Hoffman-Singleton where constructible, annealed
+         // low-path-length regular graphs elsewhere — see
+         // topo/degree_diameter.h). Servers default to the ports left over
+         // after the network degree, like the paper's (A, B, C) rows.
+         check(spec.switches >= 2 && spec.ports >= 1,
+               "degree-diameter topology: need switches >= 2 and ports >= 1");
+         check(spec.network_degree >= 1 && spec.network_degree < spec.ports,
+               "degree-diameter topology: need 1 <= network_degree < ports");
+         const int sps = spec.servers_per_switch > 0
+                             ? spec.servers_per_switch
+                             : spec.ports - spec.network_degree;
+         return topo::build_degree_diameter_topology(spec.switches, spec.ports,
+                                                     spec.network_degree, sps, rng);
        }},
       {"fattree",
        [](const TopologySpec& spec, Rng&) {
