@@ -39,6 +39,8 @@
 #include "eval/serialize.h"
 #include "eval/sweep.h"
 #include "eval/topology_factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/path_provider.h"
 #include "store/result_store.h"
 
@@ -54,6 +56,7 @@ int usage(std::ostream& os, int code) {
         "  run <scenario.json> [--threads N] [--sim-shards N] [--out FILE]\n"
         "                      [--format table|csv|json] [--quiet]\n"
         "                      [--cache-dir DIR] [--cache-budget-mb N]\n"
+        "                      [--trace-out FILE] [--metrics-out FILE]\n"
         "      Execute the scenario (or sweep) and render the report.\n"
         "      --threads N   global worker budget shared by concurrent cells and\n"
         "                    within-cell solvers (0 = hardware concurrency);\n"
@@ -72,14 +75,22 @@ int usage(std::ostream& os, int code) {
         "                    absent, cold, or warm.\n"
         "      --cache-budget-mb N  evict least-recently-used cache entries past\n"
         "                    N megabytes (default: unlimited)\n"
+        "      --trace-out FILE  record scoped spans (engine cells, MCF solves,\n"
+        "                    sim rounds, store ops) and write Chrome trace-event\n"
+        "                    JSON — load in chrome://tracing or Perfetto. Purely\n"
+        "                    observational: the report stays byte-identical.\n"
+        "      --metrics-out FILE  write the merged counter/gauge/histogram\n"
+        "                    registry as plain JSON after the run\n"
         "  serve --queue DIR [--out-dir DIR] [--cache-dir DIR] [--cache-budget-mb N]\n"
         "                    [--threads N] [--poll-ms MS] [--once] [--quiet]\n"
+        "                    [--trace-out FILE] [--metrics-out FILE]\n"
         "      Watch DIR for scenario files (*.json, filename order) and run each\n"
         "      on one warm engine + result store. Per job: report JSON in\n"
         "      --out-dir (default DIR/reports), the scenario file moves to\n"
         "      DIR/done (DIR/failed on error), one status line on stdout.\n"
         "      --once drains the queue and exits (instead of polling forever,\n"
-        "      default every 500 ms).\n"
+        "      default every 500 ms). --trace-out/--metrics-out are rewritten\n"
+        "      after every job (metrics and spans reset per job).\n"
         "  print <scenario.json>\n"
         "      Validate the file and list the expanded sweep points (dry run).\n"
         "  list\n"
@@ -102,10 +113,22 @@ std::string render(const eval::SweepReport& report, const std::string& format) {
   return out.str();
 }
 
+std::string format_secs(double secs) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << secs << "s";
+  return os.str();
+}
+
 // One greppable accounting line per executed batch; keys are stable (CI's
-// cold-vs-warm gate asserts on "solved=0"). Deliberately on stderr: report
-// bytes must not depend on cache state.
-std::string stats_line(const eval::BatchStats& st, const store::ResultStore* store) {
+// cold-vs-warm gate asserts on "solved=0"), new keys append only.
+// Deliberately on stderr: report bytes must not depend on cache state.
+// With metrics collection on, appends the per-phase wall-time breakdown
+// (t_warm/t_cells are batch phases; the remaining keys are summed task time
+// across workers, so t_solve can exceed wall on a parallel run).
+std::string stats_line(const eval::BatchStats& st, const store::ResultStore* store,
+                       double wall_secs) {
   std::string line = "[stats] cells=" + std::to_string(st.cells) +
                      " solved=" + std::to_string(st.solved) +
                      " memo_hits=" + std::to_string(st.memo_hits) +
@@ -114,7 +137,35 @@ std::string stats_line(const eval::BatchStats& st, const store::ResultStore* sto
     line += " store_entries=" + std::to_string(store->entry_count()) +
             " store_bytes=" + std::to_string(store->total_bytes());
   }
+  line += " wall=" + format_secs(wall_secs);
+  if (obs::metrics_enabled()) {
+    const obs::MetricsSnapshot snap = obs::collect_metrics();
+    auto phase = [&](const char* key, const char* dist) {
+      const obs::DistributionSnapshot* d = snap.find_distribution(dist);
+      if (d != nullptr && d->count > 0) {
+        line += std::string(" ") + key + "=" + format_secs(static_cast<double>(d->sum) / 1e9);
+      }
+    };
+    phase("t_warm", "engine.phase_warm_ns");
+    phase("t_cells", "engine.phase_cells_ns");
+    phase("t_solve", "engine.cell_solve_ns");
+    phase("t_mcf_sweep", "mcf.sweep_ns");
+    phase("t_mcf_apply", "mcf.apply_ns");
+    phase("t_store_get", "store.get_ns");
+    phase("t_store_put", "store.put_ns");
+  }
   return line;
+}
+
+// Writes the trace / metrics dumps for whichever paths were requested.
+void export_observability(const std::string& trace_out, const std::string& metrics_out) {
+  if (!trace_out.empty()) {
+    common::write_file_atomic(fs::path(trace_out), obs::trace_to_json().dump() + "\n");
+  }
+  if (!metrics_out.empty()) {
+    common::write_file_atomic(fs::path(metrics_out),
+                              obs::metrics_to_json(obs::collect_metrics()).dump(2) + "\n");
+  }
 }
 
 std::unique_ptr<store::ResultStore> open_store(const std::string& dir, int budget_mb) {
@@ -134,6 +185,8 @@ int cmd_run(int argc, char** argv) {
   std::string out_path;
   std::string format;
   std::string cache_dir;
+  std::string trace_out;
+  std::string metrics_out;
   int cache_budget_mb = 0;
   int threads = 0;
   int sim_shards = 0;
@@ -160,6 +213,10 @@ int cmd_run(int argc, char** argv) {
       if (cache_budget_mb < 1) {
         throw std::invalid_argument("--cache-budget-mb needs a value >= 1");
       }
+    } else if (arg == "--trace-out") {
+      trace_out = value();
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -206,8 +263,17 @@ int cmd_run(int argc, char** argv) {
   opts.threads = threads;
   opts.store = store.get();
   opts.stats = &stats;
+  // Collection is purely observational (the report is byte-identical either
+  // way — gated in tests and CI), so metrics default on whenever the stats
+  // line will be shown or a dump was requested.
+  obs::set_metrics_enabled(!quiet || !metrics_out.empty());
+  obs::set_trace_enabled(!trace_out.empty());
+  const auto run_t0 = std::chrono::steady_clock::now();
   eval::SweepReport report = eval::run_sweep(spec, opts, progress);
-  if (!quiet) std::cerr << stats_line(stats, store.get()) << "\n";
+  const double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_t0).count();
+  if (!quiet) std::cerr << stats_line(stats, store.get(), wall_secs) << "\n";
+  export_observability(trace_out, metrics_out);
 
   const std::string rendered = render(report, format);
   if (out_path.empty()) {
@@ -260,6 +326,8 @@ int cmd_serve(int argc, char** argv) {
   std::string queue_dir;
   std::string out_dir;
   std::string cache_dir;
+  std::string trace_out;
+  std::string metrics_out;
   int cache_budget_mb = 0;
   int threads = 0;
   int poll_ms = 500;
@@ -287,6 +355,10 @@ int cmd_serve(int argc, char** argv) {
     } else if (arg == "--poll-ms") {
       poll_ms = std::atoi(value());
       if (poll_ms < 1) throw std::invalid_argument("--poll-ms needs a value >= 1");
+    } else if (arg == "--trace-out") {
+      trace_out = value();
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--quiet") {
@@ -328,6 +400,13 @@ int cmd_serve(int argc, char** argv) {
         opts.threads = threads;
         opts.store = store.get();
         opts.stats = &stats;
+        // Per-job accounting: the registry and span buffers restart from
+        // zero, so the dumps (rewritten after every job) and the stats line
+        // describe exactly this job.
+        obs::set_metrics_enabled(!quiet || !metrics_out.empty());
+        obs::set_trace_enabled(!trace_out.empty());
+        obs::reset_metrics();
+        obs::reset_trace();
         eval::SweepReport report = eval::run_sweep(spec, opts);
         const fs::path out = reports / (job.stem().string() + ".report.json");
         common::write_file_atomic(out, eval::sweep_report_to_json(report).dump(2) + "\n");
@@ -337,9 +416,15 @@ int cmd_serve(int argc, char** argv) {
         line << "[serve] " << job.filename().string() << ": ok points="
              << report.points.size() << " cells=" << stats.cells
              << " solved=" << stats.solved << " memo_hits=" << stats.memo_hits
-             << " store_hits=" << stats.store_hits << " (" << secs << "s) -> "
-             << out.string();
+             << " store_hits=" << stats.store_hits;
+        if (store != nullptr) {
+          line << " store_entries=" << store->entry_count()
+               << " store_bytes=" << store->total_bytes();
+        }
+        line << " wall=" << format_secs(secs) << " -> " << out.string();
         std::cout << line.str() << "\n" << std::flush;
+        if (!quiet) std::cerr << stats_line(stats, store.get(), secs) << "\n";
+        export_observability(trace_out, metrics_out);
         move_job(job, queue / "done");
       } catch (const std::exception& e) {
         // One bad scenario must not take the service down: report, park the

@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace jf::parallel {
+
+namespace {
+
+// Slot accounting (all no-ops while metrics are off; see obs/metrics.h):
+//   granted/denied — how often nested regions get extra workers at all;
+//   busy/idle — slot-time split inside WorkerTeam rounds, the utilization
+//   signal for borrowed-worker scheduling (busy / (busy + idle)).
+obs::Counter& budget_granted_slots() {
+  static obs::Counter& c = obs::counter("parallel.budget_granted_slots");
+  return c;
+}
+obs::Counter& budget_denied() {
+  static obs::Counter& c = obs::counter("parallel.budget_denied");
+  return c;
+}
+obs::Counter& team_rounds() {
+  static obs::Counter& c = obs::counter("parallel.team_rounds");
+  return c;
+}
+obs::Counter& team_busy_ns() {
+  static obs::Counter& c = obs::counter("parallel.team_busy_ns");
+  return c;
+}
+obs::Counter& team_idle_ns() {
+  static obs::Counter& c = obs::counter("parallel.team_idle_ns");
+  return c;
+}
+
+}  // namespace
 
 int resolve_threads(int threads) {
   if (threads > 0) return threads;
@@ -12,7 +42,8 @@ int resolve_threads(int threads) {
   return hw > 0 ? hw : 1;
 }
 
-WorkBudget::WorkBudget(int extra_workers) : available_(std::max(0, extra_workers)) {}
+WorkBudget::WorkBudget(int extra_workers)
+    : total_(std::max(0, extra_workers)), available_(total_) {}
 
 int WorkBudget::try_acquire(int want) {
   if (want <= 0) return 0;
@@ -20,9 +51,11 @@ int WorkBudget::try_acquire(int want) {
   while (cur > 0) {
     const int take = std::min(cur, want);
     if (available_.compare_exchange_weak(cur, cur - take, std::memory_order_relaxed)) {
+      budget_granted_slots().add(take);
       return take;
     }
   }
+  budget_denied().increment();
   return 0;
 }
 
@@ -34,8 +67,23 @@ void WorkBudget::release(int granted) {
 WorkerTeam::WorkerTeam(WorkBudget* budget, int max_extra) : budget_(budget) {
   if (budget_ != nullptr && max_extra > 0) extra_ = budget_->try_acquire(max_extra);
   workers_.reserve(static_cast<std::size_t>(extra_));
-  for (int slot = 1; slot <= extra_; ++slot) {
-    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  try {
+    for (int slot = 1; slot <= extra_; ++slot) {
+      workers_.emplace_back([this, slot] { worker_loop(slot); });
+    }
+  } catch (...) {
+    // Thread spawn failed mid-way. The destructor will not run, so wind the
+    // started workers down and hand every slot back here — otherwise the
+    // budget leaks the grant and utilization is unmeasurable for the rest
+    // of the process.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    if (budget_ != nullptr) budget_->release(extra_);
+    throw;
   }
 }
 
@@ -57,12 +105,15 @@ void WorkerTeam::run(int n, const std::function<void(int, int)>& fn) {
     for (int i = 0; i < n; ++i) fn(i, 0);
     return;
   }
+  const bool timed = obs::metrics_enabled();
+  const std::int64_t round_t0 = timed ? obs::monotonic_ns() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
     n_ = n;
     done_.store(0, std::memory_order_relaxed);
     next_.store(0, std::memory_order_relaxed);
+    round_busy_ns_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
     in_round_ = extra_;
     ++generation_;
@@ -75,6 +126,17 @@ void WorkerTeam::run(int n, const std::function<void(int, int)>& fn) {
   done_cv_.wait(lock, [&] {
     return done_.load(std::memory_order_acquire) == n && in_round_ == 0;
   });
+  if (timed) {
+    // Busy/idle split for this round: every slot was "in" the round for its
+    // wall time; whatever it did not spend inside work() is idle (queue
+    // wake-up latency, waiting for a long-tail index to finish).
+    const std::int64_t wall = obs::monotonic_ns() - round_t0;
+    const std::int64_t busy =
+        std::min(round_busy_ns_.load(std::memory_order_relaxed), wall * size());
+    team_rounds().increment();
+    team_busy_ns().add(busy);
+    team_idle_ns().add(wall * size() - busy);
+  }
   if (error_) {
     auto err = error_;
     error_ = nullptr;
@@ -104,9 +166,11 @@ void WorkerTeam::work(int slot) {
   // guarantees no thread reaches here while run() rewrites them.
   const int n = n_;
   const auto& fn = *fn_;
+  const bool timed = obs::metrics_enabled();
+  const std::int64_t t0 = timed ? obs::monotonic_ns() : 0;
   while (true) {
     const int i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) return;
+    if (i >= n) break;
     std::exception_ptr err;
     try {
       fn(i, slot);
@@ -121,6 +185,9 @@ void WorkerTeam::work(int slot) {
       std::lock_guard<std::mutex> lock(mu_);  // pair with run()'s wait predicate
       done_cv_.notify_all();
     }
+  }
+  if (timed) {
+    round_busy_ns_.fetch_add(obs::monotonic_ns() - t0, std::memory_order_relaxed);
   }
 }
 
@@ -163,7 +230,14 @@ void parallel_for(int n, WorkBudget* budget, const std::function<void(int)>& fn)
   };
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(extra));
-  for (int w = 0; w < extra; ++w) workers.emplace_back(work, true);
+  try {
+    for (int w = 0; w < extra; ++w) workers.emplace_back(work, true);
+  } catch (...) {
+    // Spawn failed: started workers hand their own slot back inside work();
+    // return the rest here (they would otherwise leak from the budget) and
+    // degrade to fewer workers — results are schedule-independent anyway.
+    budget->release(extra - static_cast<int>(workers.size()));
+  }
   work(false);
   for (auto& w : workers) w.join();
   if (first_error) std::rethrow_exception(first_error);

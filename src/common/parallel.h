@@ -40,7 +40,12 @@ class WorkBudget {
 
   int available() const { return available_.load(std::memory_order_relaxed); }
 
+  // Slots the pot started with — the denominator for utilization metrics
+  // (`available()` alone cannot tell "fully lent out" from "small pot").
+  int total() const { return total_; }
+
  private:
+  int total_;
   std::atomic<int> available_;
 };
 
@@ -92,6 +97,9 @@ class WorkerTeam {
   int n_ = 0;
   std::atomic<int> next_{0};
   std::atomic<int> done_{0};
+  // Slot-nanoseconds spent inside work() this round; with the round's wall
+  // time this yields the team's busy/idle split (obs metrics, see run()).
+  std::atomic<std::int64_t> round_busy_ns_{0};
   std::exception_ptr error_;
   std::vector<std::thread> workers_;
 };

@@ -11,6 +11,8 @@
 #include "common/check.h"
 #include "common/digest.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "eval/serialize.h"
 #include "store/result_store.h"
 #include "eval/topology_factory.h"
@@ -636,6 +638,24 @@ Report Engine::run(const Scenario& s) const {
 std::vector<Report> Engine::run_batch(
     std::span<const Scenario> scenarios,
     const std::function<void(std::size_t, Report&)>& on_done) const {
+  // Batch telemetry (all purely observational — see obs/metrics.h; counts
+  // mirror BatchStats so metrics dumps are self-contained).
+  static obs::Counter& obs_batches = obs::counter("engine.batches");
+  static obs::Counter& obs_cells = obs::counter("engine.cells");
+  static obs::Counter& obs_solved = obs::counter("engine.cells_solved");
+  static obs::Counter& obs_memo_hits = obs::counter("engine.cell_memo_hits");
+  static obs::Counter& obs_store_hits = obs::counter("engine.cell_store_hits");
+  static obs::Distribution& obs_warm_ns = obs::distribution("engine.phase_warm_ns");
+  static obs::Distribution& obs_cells_ns = obs::distribution("engine.phase_cells_ns");
+  static obs::Distribution& obs_queue_wait_ns =
+      obs::distribution("engine.cell_queue_wait_ns");
+  static obs::Distribution& obs_solve_ns = obs::distribution("engine.cell_solve_ns");
+  static obs::Distribution& obs_store_load_ns = obs::distribution("engine.store_load_ns");
+  static obs::Distribution& obs_store_save_ns = obs::distribution("engine.store_save_ns");
+  obs_batches.increment();
+  obs::Span batch_span("engine.run_batch", "engine");
+  batch_span.arg("scenarios", static_cast<std::int64_t>(scenarios.size()));
+
   // Validate everything up front so a malformed later scenario cannot abort
   // a batch that already spent hours on earlier ones.
   for (const Scenario& s : scenarios) validate_scenario(s);
@@ -654,6 +674,7 @@ std::vector<Report> Engine::run_batch(
   // --threads of T leaves T - 1 borrowable slots. Cell-level workers hold a
   // slot each while they run; a cell's MCF solves borrow whatever is left.
   parallel::WorkBudget budget(parallel::resolve_threads(opts_.threads) - 1);
+  obs::gauge("parallel.budget_total_slots").set(budget.total());
 
   // Phase 1 — warm shared providers, interleaved across scenarios.
   struct WarmRef {
@@ -664,14 +685,19 @@ std::vector<Report> Engine::run_batch(
   for (std::size_t i = 0; i < runs.size(); ++i) {
     for (const auto& [t, r] : runs[i].warm_jobs) warm.push_back({i, t, r});
   }
-  parallel::parallel_for(static_cast<int>(warm.size()), &budget, [&](int i) {
-    const WarmRef& w = warm[static_cast<std::size_t>(i)];
-    auto& st = runs[w.run].shared[static_cast<std::size_t>(w.t)];
-    auto& provider = *st.providers[static_cast<std::size_t>(w.r)];
-    for (const auto& [a, b] : runs[w.run].query_pairs[static_cast<std::size_t>(w.t)]) {
-      provider.paths(a, b);
-    }
-  });
+  {
+    obs::ScopedTimer warm_timer(obs_warm_ns);
+    obs::Span warm_span("engine.warm_providers", "engine");
+    warm_span.arg("jobs", static_cast<std::int64_t>(warm.size()));
+    parallel::parallel_for(static_cast<int>(warm.size()), &budget, [&](int i) {
+      const WarmRef& w = warm[static_cast<std::size_t>(i)];
+      auto& st = runs[w.run].shared[static_cast<std::size_t>(w.t)];
+      auto& provider = *st.providers[static_cast<std::size_t>(w.r)];
+      for (const auto& [a, b] : runs[w.run].query_pairs[static_cast<std::size_t>(w.t)]) {
+        provider.paths(a, b);
+      }
+    });
+  }
 
   // Phase 2 — every cell of every scenario on one dynamic queue. The queue
   // order (scenario-major) only biases which work starts first; results land
@@ -723,11 +749,19 @@ std::vector<Report> Engine::run_batch(
   std::atomic<int> store_hit_count{0};
   std::mutex done_mu;  // guards cells_left/done/next_emit and serializes on_done
   std::size_t next_emit = 0;
+  const bool obs_on = obs::metrics_enabled();
+  const std::int64_t phase_cells_t0 = obs_on ? obs::monotonic_ns() : 0;
   parallel::parallel_for(static_cast<int>(queue.size()), &budget, [&](int i) {
+    // Queue wait: how long this cell sat behind earlier queue entries
+    // before a worker picked it up (offset from the phase start).
+    if (obs_on) obs_queue_wait_ns.record(obs::monotonic_ns() - phase_cells_t0);
     const CellRef ref = queue[static_cast<std::size_t>(i)];
     auto& p = runs[ref.run];
     const Cell& cell = p.cells[static_cast<std::size_t>(ref.cell)];
     auto& slot = p.results[static_cast<std::size_t>(ref.cell)];
+    obs::Span cell_span("engine.cell", "engine");
+    cell_span.arg("topo", cell.topo);
+    cell_span.arg("routing", cell.routing);
     // Persistent-store fast path: a verified hit splices exactly like the
     // in-process leader/duplicate path below — same slot, same bytes —
     // because stored samples round-trip bit-exactly through the JSON
@@ -735,15 +769,26 @@ std::vector<Report> Engine::run_batch(
     if (opts_.store != nullptr) {
       const std::string& key = keys[static_cast<std::size_t>(i)];
       const std::string digest = cell_digest(key);
-      if (auto cached = load_cached_cell(*opts_.store, key, digest)) {
+      std::optional<std::vector<Sample>> cached;
+      {
+        obs::ScopedTimer load_timer(obs_store_load_ns);
+        cached = load_cached_cell(*opts_.store, key, digest);
+      }
+      if (cached) {
         slot = std::move(*cached);
         store_hit_count.fetch_add(1, std::memory_order_relaxed);
       } else {
-        slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+        {
+          obs::ScopedTimer solve_timer(obs_solve_ns);
+          slot =
+              run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+        }
         solved_count.fetch_add(1, std::memory_order_relaxed);
+        obs::ScopedTimer save_timer(obs_store_save_ns);
         opts_.store->put(digest, cell_payload(key, slot));
       }
     } else {
+      obs::ScopedTimer solve_timer(obs_solve_ns);
       slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
       solved_count.fetch_add(1, std::memory_order_relaxed);
     }
@@ -778,17 +823,21 @@ std::vector<Report> Engine::run_batch(
       ++next_emit;
     }
   });
+  if (obs_on) obs_cells_ns.record(obs::monotonic_ns() - phase_cells_t0);
   // Persist the store's index eagerly: the entries themselves are already
   // durable (atomic per-cell writes), this just saves their LRU order.
   if (opts_.store != nullptr) opts_.store->flush();
-  if (opts_.stats != nullptr) {
-    BatchStats st;
-    for (const auto& p : runs) st.cells += static_cast<int>(p.cells.size());
-    st.solved = solved_count.load();
-    st.store_hits = store_hit_count.load();
-    st.memo_hits = st.cells - static_cast<int>(queue.size());
-    *opts_.stats = st;
-  }
+  BatchStats st;
+  for (const auto& p : runs) st.cells += static_cast<int>(p.cells.size());
+  st.solved = solved_count.load();
+  st.store_hits = store_hit_count.load();
+  st.memo_hits = st.cells - static_cast<int>(queue.size());
+  obs_cells.add(st.cells);
+  obs_solved.add(st.solved);
+  obs_memo_hits.add(st.memo_hits);
+  obs_store_hits.add(st.store_hits);
+  batch_span.arg("cells", st.cells);
+  if (opts_.stats != nullptr) *opts_.stats = st;
   return reports;
 }
 

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jf::flow {
 
@@ -110,6 +112,18 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
     return result;
   }
 
+  // GK telemetry: counts are exact and schedule-independent (rounds/phases
+  // are decided by the serial apply order); the _ns distributions are wall
+  // times. sweep_ns also covers the sweeps dual_upper() issues.
+  static obs::Counter& obs_solves = obs::counter("mcf.solves");
+  static obs::Counter& obs_phases = obs::counter("mcf.phases");
+  static obs::Counter& obs_rounds = obs::counter("mcf.rounds");
+  static obs::Distribution& obs_sweep_ns = obs::distribution("mcf.sweep_ns");
+  static obs::Distribution& obs_apply_ns = obs::distribution("mcf.apply_ns");
+  obs_solves.increment();
+  obs::Span span("mcf.solve", "mcf");
+  span.arg("commodities", static_cast<std::int64_t>(cs.size()));
+
   ArcGraph a = build_arcs(g, opts.link_capacity);
   const std::size_t m = a.to.size();
   if (m == 0) return result;  // no links: nothing routable
@@ -142,6 +156,7 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
   // Shortest path for every listed commodity against the *current* lengths,
   // which the caller must keep frozen for the duration of the sweep.
   auto sweep = [&](const std::vector<int>& js) {
+    obs::ScopedTimer sweep_timer(obs_sweep_ns);
     team.run(static_cast<int>(js.size()), [&](int k, int slot) {
       const int j = js[static_cast<std::size_t>(k)];
       const Commodity& c = cs[static_cast<std::size_t>(j)];
@@ -211,7 +226,9 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
     for (std::size_t j = 0; j < cs.size(); ++j) remaining[j] = cs[j].demand;
     active = all_commodities;
     while (!active.empty()) {
+      obs_rounds.increment();
       sweep(active);
+      obs::ScopedTimer apply_timer(obs_apply_ns);
       still_active.clear();
       for (int j : active) {
         const std::size_t ji = static_cast<std::size_t>(j);
@@ -237,6 +254,7 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
       active.swap(still_active);
     }
     result.phases = phase + 1;
+    obs_phases.increment();
     result.lambda = std::max(result.lambda, primal_lambda());
 
     if (opts.decide_threshold >= 0 && result.lambda >= opts.decide_threshold) {
@@ -265,6 +283,7 @@ McfResult max_concurrent_flow(const graph::Graph& g, std::span<const Commodity> 
     }
   }
   result.lambda_upper = std::min(result.lambda_upper, dual_upper());
+  span.arg("phases", result.phases);
   return result;
 }
 

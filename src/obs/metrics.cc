@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace jf::obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+int this_thread_stripe() {
+  static std::atomic<int> next{0};
+  thread_local const int stripe = next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+namespace {
+
+// One registry for the process. Metric objects live in deques (stable
+// addresses, handles stay valid forever); the maps only resolve names.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaked: handles must outlive exit
+    return *r;
+  }
+
+  Counter& counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      check_unregistered(name);
+      counter_store_.emplace_back();
+      it = counters_.emplace(std::string(name), &counter_store_.back()).first;
+    }
+    return *it->second;
+  }
+
+  Gauge& gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      check_unregistered(name);
+      gauge_store_.emplace_back();
+      it = gauges_.emplace(std::string(name), &gauge_store_.back()).first;
+    }
+    return *it->second;
+  }
+
+  Distribution& distribution(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = distributions_.find(name);
+    if (it == distributions_.end()) {
+      check_unregistered(name);
+      distribution_store_.emplace_back();
+      it = distributions_.emplace(std::string(name), &distribution_store_.back()).first;
+    }
+    return *it->second;
+  }
+
+  MetricsSnapshot collect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+    for (const auto& [name, d] : distributions_) {
+      snap.distributions.emplace_back(name, d->snapshot());
+    }
+    return snap;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [_, c] : counters_) c->reset();
+    for (auto& [_, g] : gauges_) g->reset();
+    for (auto& [_, d] : distributions_) d->reset();
+  }
+
+ private:
+  Registry() = default;
+
+  void check_unregistered(std::string_view name) {
+    if (counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+        distributions_.count(name) != 0) {
+      throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                  "' already registered with a different kind");
+    }
+  }
+
+  std::mutex mu_;
+  std::deque<Counter> counter_store_;
+  std::deque<Gauge> gauge_store_;
+  std::deque<Distribution> distribution_store_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Gauge*, std::less<>> gauges_;
+  std::map<std::string, Distribution*, std::less<>> distributions_;
+};
+
+}  // namespace
+
+void set_metrics_enabled(bool on) {
+  internal::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t monotonic_ns() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+}
+
+void Distribution::record(std::int64_t v) {
+  if (!metrics_enabled()) return;
+  auto& cell = cells_[static_cast<std::size_t>(internal::this_thread_stripe())];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t seen = cell.min.load(std::memory_order_relaxed);
+  while (v < seen && !cell.min.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = cell.max.load(std::memory_order_relaxed);
+  while (v > seen && !cell.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  const int bucket =
+      v <= 0 ? 0
+             : std::min(internal::kBuckets - 1,
+                        static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v))));
+  cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Distribution::count() const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Distribution::sum() const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+DistributionSnapshot Distribution::snapshot() const {
+  DistributionSnapshot ds;
+  std::int64_t min = INT64_MAX, max = INT64_MIN;
+  std::int64_t bucket_totals[internal::kBuckets] = {};
+  for (const auto& cell : cells_) {
+    ds.count += cell.count.load(std::memory_order_relaxed);
+    ds.sum += cell.sum.load(std::memory_order_relaxed);
+    min = std::min(min, cell.min.load(std::memory_order_relaxed));
+    max = std::max(max, cell.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < internal::kBuckets; ++b) {
+      bucket_totals[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (ds.count > 0) {
+    ds.min = min;
+    ds.max = max;
+  }
+  for (int b = 0; b < internal::kBuckets; ++b) {
+    if (bucket_totals[b] == 0) continue;
+    const std::int64_t lo = b == 0 ? 0 : std::int64_t{1} << (b - 1);
+    ds.buckets.emplace_back(lo, bucket_totals[b]);
+  }
+  return ds;
+}
+
+void Distribution::reset() {
+  for (auto& cell : cells_) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+    cell.min.store(INT64_MAX, std::memory_order_relaxed);
+    cell.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+Distribution& distribution(std::string_view name) {
+  return Registry::instance().distribution(name);
+}
+
+std::int64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const DistributionSnapshot* MetricsSnapshot::find_distribution(std::string_view name) const {
+  for (const auto& [n, d] : distributions) {
+    if (n == name) return &d;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot collect_metrics() { return Registry::instance().collect(); }
+
+json::Value metrics_to_json(const MetricsSnapshot& snap) {
+  json::Object counters;
+  for (const auto& [name, v] : snap.counters) counters.emplace_back(name, v);
+  json::Object gauges;
+  for (const auto& [name, v] : snap.gauges) gauges.emplace_back(name, v);
+  json::Object dists;
+  for (const auto& [name, d] : snap.distributions) {
+    json::Object o;
+    o.emplace_back("count", d.count);
+    o.emplace_back("sum", d.sum);
+    o.emplace_back("mean", d.count > 0 ? static_cast<double>(d.sum) /
+                                             static_cast<double>(d.count)
+                                       : 0.0);
+    o.emplace_back("min", d.min);
+    o.emplace_back("max", d.max);
+    json::Array buckets;
+    for (const auto& [lo, n] : d.buckets) {
+      buckets.emplace_back(json::Array{json::Value(lo), json::Value(n)});
+    }
+    o.emplace_back("buckets", json::Value(std::move(buckets)));
+    dists.emplace_back(name, json::Value(std::move(o)));
+  }
+  json::Object root;
+  // reserve: gcc 12's -Warray-bounds misfires on literal-key emplace_back
+  // through the realloc path (same family as GCC PR 105329).
+  root.reserve(3);
+  root.emplace_back("counters", json::Value(std::move(counters)));
+  root.emplace_back("gauges", json::Value(std::move(gauges)));
+  root.emplace_back("distributions", json::Value(std::move(dists)));
+  return json::Value(std::move(root));
+}
+
+void reset_metrics() { Registry::instance().reset(); }
+
+}  // namespace jf::obs

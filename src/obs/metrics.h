@@ -1,0 +1,202 @@
+// Process-wide metrics registry: named counters, gauges, and value/duration
+// distributions, designed so instrumentation can live permanently on hot
+// paths.
+//
+// Cost model: every mutation starts with one relaxed atomic load of the
+// global enable flag and returns immediately when collection is off, so an
+// uninstrumented-feeling binary is the default. When enabled, counters and
+// distributions write to per-thread-striped, cache-line-padded atomic cells
+// (no locks, no allocation), and collect_metrics() merges the stripes with
+// order-independent math — integer sums, min/max, bucket sums — in one
+// canonical name-sorted pass. Merged totals therefore depend only on what
+// was recorded, never on thread scheduling, which is what lets tests assert
+// exact counter values at any thread count.
+//
+// Everything here is observational: nothing in the library reads a metric
+// back to make a decision, so enabling or disabling collection can never
+// change results — the repo-wide byte-identical-reports invariant is gated
+// on exactly that (see tests/test_obs.cc).
+//
+// Usage: obtain handles once (they are registered forever and have stable
+// addresses), then mutate freely from any thread:
+//
+//   static obs::Counter& rounds = obs::counter("mcf.rounds");
+//   rounds.increment();
+//
+//   static obs::Distribution& sweep = obs::distribution("mcf.sweep_ns");
+//   { obs::ScopedTimer t(sweep); ... }   // records elapsed nanoseconds
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace jf::obs {
+
+namespace internal {
+
+extern std::atomic<bool> g_metrics_enabled;
+
+// Stripe count: a power of two, enough that concurrent workers rarely share
+// a cell. Threads are assigned stripes round-robin on first use.
+inline constexpr int kStripes = 16;
+
+// Log2 value buckets; bucket 0 holds v <= 0, bucket i >= 1 holds
+// [2^(i-1), 2^i), the last bucket absorbs everything larger. 48 buckets
+// cover nanosecond durations up to ~3 days.
+inline constexpr int kBuckets = 48;
+
+int this_thread_stripe();
+
+struct alignas(64) PaddedCounterCell {
+  std::atomic<std::int64_t> v{0};
+};
+
+struct alignas(64) DistributionCell {
+  std::atomic<std::int64_t> count{0};
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<std::int64_t> min{INT64_MAX};
+  std::atomic<std::int64_t> max{INT64_MIN};
+  std::atomic<std::int64_t> buckets[kBuckets] = {};
+};
+
+}  // namespace internal
+
+// Global collection switch; off by default. Flipping it mid-mutation is
+// safe (mutations are independently atomic) but snapshots taken while
+// recorders are active only promise per-cell consistency.
+inline bool metrics_enabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+
+// Monotonic nanoseconds since the process's observability epoch (first use);
+// shared by metric timers and trace spans so their clocks line up.
+std::int64_t monotonic_ns();
+
+// A monotone sum. Handles normally come from counter() and live forever
+// (standalone instances work too, e.g. for scoped accounting in tests).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::int64_t n) {
+    if (!metrics_enabled()) return;
+    cells_[static_cast<std::size_t>(internal::this_thread_stripe())].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  // Merged value (sum over stripes).
+  std::int64_t value() const;
+  void reset();
+
+ private:
+  internal::PaddedCounterCell cells_[internal::kStripes];
+};
+
+// A last-written value (e.g. a configured lookahead or a cache size).
+// Writers racing with different values make the survivor scheduling-
+// dependent — gauges are meant for values every writer agrees on.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+struct DistributionSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  // Non-empty log2 buckets as (lower bound, count), ascending.
+  std::vector<std::pair<std::int64_t, std::int64_t>> buckets;
+};
+
+// A count/sum/min/max/log2-histogram over recorded int64 values — durations
+// in nanoseconds by convention (suffix the name "_ns"), but any value works
+// (events per round, bytes per entry, ...).
+class Distribution {
+ public:
+  Distribution() = default;
+  Distribution(const Distribution&) = delete;
+  Distribution& operator=(const Distribution&) = delete;
+
+  void record(std::int64_t v);
+
+  // Merged reads (count() == 0 means min/max are meaningless).
+  std::int64_t count() const;
+  std::int64_t sum() const;
+  DistributionSnapshot snapshot() const;
+  void reset();
+
+ private:
+  internal::DistributionCell cells_[internal::kStripes];
+};
+
+// Registry lookups: one handle per name for the process lifetime. A name
+// may back only one metric kind (re-requesting it as another kind throws).
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Distribution& distribution(std::string_view name);
+
+// Records elapsed nanoseconds into a distribution at scope exit. Reads the
+// clock only when collection is enabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Distribution& d) : d_(metrics_enabled() ? &d : nullptr) {
+    if (d_ != nullptr) start_ns_ = monotonic_ns();
+  }
+  ~ScopedTimer() {
+    if (d_ != nullptr) d_->record(monotonic_ns() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Distribution* d_;
+  std::int64_t start_ns_ = 0;
+};
+
+// One merged, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, DistributionSnapshot>> distributions;
+
+  // Lookup helpers (0 / nullptr when absent).
+  std::int64_t counter_value(std::string_view name) const;
+  const DistributionSnapshot* find_distribution(std::string_view name) const;
+};
+
+MetricsSnapshot collect_metrics();
+
+// {"counters": {...}, "gauges": {...}, "distributions": {name:
+// {"count","sum","mean","min","max","buckets":[[lo,count],...]}}} — plain
+// JSON for --metrics-out, round-trippable through common/json.
+json::Value metrics_to_json(const MetricsSnapshot& snap);
+
+// Zeroes every registered metric (for tests and per-job accounting). Not
+// safe against concurrent recorders: call it only when no instrumented
+// parallel region is active.
+void reset_metrics();
+
+}  // namespace jf::obs

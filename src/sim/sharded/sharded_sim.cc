@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 
 namespace jf::sim::sharded {
@@ -35,8 +37,12 @@ void Shard::dispatch_loss(Event&& ev) {
 }
 
 void Shard::route(Event&& ev, int dest) {
-  if (dest == id_) events_.push(std::move(ev));
-  else outbox_[static_cast<std::size_t>(dest)].push_back(std::move(ev));
+  if (dest == id_) {
+    events_.push(std::move(ev));
+  } else {
+    ++handoffs_;
+    outbox_[static_cast<std::size_t>(dest)].push_back(std::move(ev));
+  }
 }
 
 void Shard::run_round(TimeNs horizon, TimeNs t_end) {
@@ -47,6 +53,7 @@ void Shard::run_round(TimeNs horizon, TimeNs t_end) {
     events_.pop();
     ensure(ev.time >= now_, "run_round: time went backwards");
     now_ = ev.time;
+    ++events_processed_;
     EngineOps<Shard>::handle(*this, ev);
   }
 }
@@ -190,10 +197,28 @@ void ShardedSimulator::finalize() {
 }
 
 void ShardedSimulator::run_until(TimeNs t_end, parallel::WorkBudget* budget) {
+  // Round telemetry: counts are exact and schedule-independent (the round
+  // structure is decided by timestamps and the lookahead, never by worker
+  // scheduling); barrier_wait_ns is the per-shard slack within each round —
+  // the load-imbalance signal ROADMAP's sharded-sim speedup item needs.
+  static obs::Counter& obs_runs = obs::counter("sim.runs");
+  static obs::Counter& obs_rounds = obs::counter("sim.rounds");
+  static obs::Counter& obs_events = obs::counter("sim.events");
+  static obs::Counter& obs_handoffs = obs::counter("sim.handoffs");
+  static obs::Distribution& obs_round_events = obs::distribution("sim.round_events");
+  static obs::Distribution& obs_round_handoffs = obs::distribution("sim.round_handoffs");
+  static obs::Distribution& obs_barrier_wait_ns =
+      obs::distribution("sim.barrier_wait_ns");
+  static obs::Distribution& obs_lookahead_ns = obs::distribution("sim.lookahead_ns");
   if (!started_) {
     started_ = true;
     finalize();
+    if (lookahead_ns_ < kMaxTime) obs_lookahead_ns.record(lookahead_ns_);
   }
+  obs_runs.increment();
+  obs::Span run_span("sim.run_until", "sim");
+  run_span.arg("shards", num_shards());
+  const bool obs_on = obs::metrics_enabled();
   const int num = num_shards();
   parallel::WorkerTeam team(budget, num - 1);
   while (true) {
@@ -216,9 +241,34 @@ void ShardedSimulator::run_until(TimeNs t_end, parallel::WorkBudget* budget) {
     if (t == kMaxTime || t > t_end) break;
     const TimeNs horizon = lookahead_ns_ >= kMaxTime - t ? kMaxTime : t + lookahead_ns_;
     ++rounds_;
+    obs_rounds.increment();
+    std::int64_t round_events = 0, round_handoffs = 0;
+    if (obs_on) {
+      for (const Shard& sh : shards_) {
+        round_events -= sh.events_processed_;
+        round_handoffs -= sh.handoffs_;
+      }
+    }
+    const std::int64_t round_t0 = obs_on ? obs::monotonic_ns() : 0;
     team.run(num, [&](int s, int) {
-      shards_[static_cast<std::size_t>(s)].run_round(horizon, t_end);
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      const std::int64_t t0 = obs_on ? obs::monotonic_ns() : 0;
+      sh.run_round(horizon, t_end);
+      if (obs_on) sh.round_busy_ns_ = obs::monotonic_ns() - t0;
     });
+    if (obs_on) {
+      // Shards joined: single-threaded barrier section reads their totals.
+      const std::int64_t round_wall = obs::monotonic_ns() - round_t0;
+      for (const Shard& sh : shards_) {
+        round_events += sh.events_processed_;
+        round_handoffs += sh.handoffs_;
+        obs_barrier_wait_ns.record(std::max<std::int64_t>(0, round_wall - sh.round_busy_ns_));
+      }
+      obs_events.add(round_events);
+      obs_handoffs.add(round_handoffs);
+      obs_round_events.record(round_events);
+      obs_round_handoffs.record(round_handoffs);
+    }
   }
   for (Shard& sh : shards_) sh.now_ = std::max(sh.now_, t_end);
 }

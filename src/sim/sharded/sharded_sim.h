@@ -92,6 +92,12 @@ class Shard {
   // Cross-shard hand-offs staged during a round (dest shard -> events),
   // merged serially at the barrier.
   std::vector<std::vector<Event>> outbox_;
+  // Telemetry (shard-local, single-writer; read at the barrier): lifetime
+  // event/hand-off totals and this round's busy wall time. Plain counters —
+  // they never feed back into the simulation.
+  std::int64_t events_processed_ = 0;
+  std::int64_t handoffs_ = 0;
+  std::int64_t round_busy_ns_ = 0;
 };
 
 class ShardedSimulator {

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "flow/maxmin.h"
+#include "obs/trace.h"
 #include "sim/sharded/plan.h"
 #include "sim/sharded/sharded_sim.h"
 
@@ -184,6 +185,9 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
   check(cfg.parallel_connections >= 1 && cfg.subflows >= 1, "run_workload: bad connection counts");
   check(cfg.shards >= 1, "run_workload: shards must be >= 1");
 
+  obs::Span span("sim.workload", "sim");
+  span.arg("flows", static_cast<std::int64_t>(tm.flows.size()));
+  span.arg("shards", cfg.shards);
   if (cfg.shards > 1 && topo.num_switches() > 1) {
     const sharded::ShardPlan plan =
         sharded::build_shard_plan(topo, cfg.shards, rng.fork(kShardPlanStream));

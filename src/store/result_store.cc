@@ -5,6 +5,7 @@
 
 #include "common/fs.h"
 #include "common/json.h"
+#include "obs/metrics.h"
 
 namespace jf::store {
 
@@ -17,6 +18,45 @@ bool is_hex_digest(const std::string& name) {
   return std::all_of(name.begin(), name.end(), [](char c) {
     return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
   });
+}
+
+// Store telemetry mirrors StoreStats (so metrics dumps stand alone) and adds
+// the latency/byte-volume signals StoreStats cannot carry.
+obs::Counter& obs_hits() {
+  static obs::Counter& c = obs::counter("store.hits");
+  return c;
+}
+obs::Counter& obs_misses() {
+  static obs::Counter& c = obs::counter("store.misses");
+  return c;
+}
+obs::Counter& obs_puts() {
+  static obs::Counter& c = obs::counter("store.puts");
+  return c;
+}
+obs::Counter& obs_evictions() {
+  static obs::Counter& c = obs::counter("store.evictions");
+  return c;
+}
+obs::Counter& obs_dropped() {
+  static obs::Counter& c = obs::counter("store.dropped");
+  return c;
+}
+obs::Counter& obs_bytes_read() {
+  static obs::Counter& c = obs::counter("store.bytes_read");
+  return c;
+}
+obs::Counter& obs_bytes_written() {
+  static obs::Counter& c = obs::counter("store.bytes_written");
+  return c;
+}
+obs::Distribution& obs_get_ns() {
+  static obs::Distribution& d = obs::distribution("store.get_ns");
+  return d;
+}
+obs::Distribution& obs_put_ns() {
+  static obs::Distribution& d = obs::distribution("store.put_ns");
+  return d;
 }
 
 }  // namespace
@@ -95,11 +135,13 @@ fs::path ResultStore::entry_path(const std::string& digest) const {
 }
 
 std::optional<std::string> ResultStore::get(const std::string& digest) {
+  obs::ScopedTimer timer(obs_get_ns());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(digest);
     if (it == entries_.end()) {
       ++stats_.misses;
+      obs_misses().increment();
       return std::nullopt;
     }
     it->second.used = ++clock_;
@@ -115,15 +157,20 @@ std::optional<std::string> ResultStore::get(const std::string& digest) {
       total_bytes_ -= std::min(total_bytes_, it->second.bytes);
       entries_.erase(it);
       ++stats_.dropped;
+      obs_dropped().increment();
     }
     ++stats_.misses;
+    obs_misses().increment();
     return std::nullopt;
   }
   ++stats_.hits;
+  obs_hits().increment();
+  obs_bytes_read().add(static_cast<std::int64_t>(bytes->size()));
   return bytes;
 }
 
 void ResultStore::put(const std::string& digest, std::string_view value) {
+  obs::ScopedTimer timer(obs_put_ns());
   common::write_file_atomic(entry_path(digest), value);
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = entries_.try_emplace(digest);
@@ -132,6 +179,8 @@ void ResultStore::put(const std::string& digest, std::string_view value) {
   it->second.used = ++clock_;
   total_bytes_ += value.size();
   ++stats_.puts;
+  obs_puts().increment();
+  obs_bytes_written().add(static_cast<std::int64_t>(value.size()));
   evict_over_budget_locked(digest);
 }
 
@@ -153,6 +202,7 @@ void ResultStore::evict_over_budget_locked(const std::string& keep) {
     std::error_code ec;
     fs::remove(entry_path(digest), ec);
     ++stats_.evictions;
+    obs_evictions().increment();
   }
 }
 
