@@ -268,9 +268,10 @@ int cmd_run(int argc, char** argv) {
   // line will be shown or a dump was requested.
   obs::set_metrics_enabled(!quiet || !metrics_out.empty());
   obs::set_trace_enabled(!trace_out.empty());
+  // detlint: ok(wall time feeds only the stderr [stats] line, never the report)
   const auto run_t0 = std::chrono::steady_clock::now();
   eval::SweepReport report = eval::run_sweep(spec, opts, progress);
-  const double wall_secs =
+  const double wall_secs =  // detlint: ok(stderr [stats] accounting only)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_t0).count();
   if (!quiet) std::cerr << stats_line(stats, store.get(), wall_secs) << "\n";
   export_observability(trace_out, metrics_out);
@@ -279,9 +280,9 @@ int cmd_run(int argc, char** argv) {
   if (out_path.empty()) {
     std::cout << rendered;
   } else {
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) throw std::runtime_error("cannot write '" + out_path + "'");
-    out << rendered;
+    // Atomic temp-file+rename like every other report writer: a consumer
+    // polling --out (or a crashed run) must never see a torn report.
+    common::write_file_atomic(fs::path(out_path), rendered);
     if (!quiet) {
       std::cerr << "wrote " << rendered.size() << " bytes (" << format << ") to "
                 << out_path << "\n";
@@ -298,6 +299,7 @@ int cmd_run(int argc, char** argv) {
 std::vector<fs::path> queued_jobs(const fs::path& queue) {
   std::vector<fs::path> jobs;
   std::error_code ec;
+  // detlint: ok(entries are collected and std::sort'ed below before use)
   for (const auto& e : fs::directory_iterator(queue, ec)) {
     if (!e.is_regular_file()) continue;
     if (e.path().extension() != ".json") continue;
@@ -392,6 +394,7 @@ int cmd_serve(int argc, char** argv) {
       continue;
     }
     for (const fs::path& job : jobs) {
+      // detlint: ok(per-job wall time feeds only the status/[stats] lines)
       const auto t0 = std::chrono::steady_clock::now();
       try {
         eval::SweepSpec spec = eval::load_sweep_file(job.string());
@@ -410,7 +413,7 @@ int cmd_serve(int argc, char** argv) {
         eval::SweepReport report = eval::run_sweep(spec, opts);
         const fs::path out = reports / (job.stem().string() + ".report.json");
         common::write_file_atomic(out, eval::sweep_report_to_json(report).dump(2) + "\n");
-        const double secs =
+        const double secs =  // detlint: ok(status-line accounting only)
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
         std::ostringstream line;
         line << "[serve] " << job.filename().string() << ": ok points="

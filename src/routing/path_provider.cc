@@ -20,7 +20,11 @@ class CachedProvider : public PathProvider {
   }
 
   // Once every pair is cached the unordered_map is only ever probed, never
-  // mutated, so concurrent lookups are safe.
+  // mutated, so concurrent lookups are safe. (Determinism audit: probes and
+  // size() are this file's only unordered accesses — iteration order can
+  // never escape; see the PathCache member note in routing/paths.h. The
+  // provider registry below is a std::map precisely because
+  // path_provider_schemes() *does* iterate it into user-visible output.)
   bool concurrent_after_warm() const override { return true; }
 
  private:

@@ -51,6 +51,16 @@ class PathCache {
   // Node ids are 32-bit, so an (s, t) pair packs losslessly into one 64-bit
   // key — cheaper to hash and compare than a pair-keyed tree on the
   // per-flow lookup path.
+  //
+  // Determinism audit (detlint `unordered-iter`): the unordered_map is legal
+  // here because it is only ever *probed* by key — paths() does a find/emplace
+  // and pairs_cached() reads size(); nothing iterates the table, so its
+  // hash- and insertion-order-dependent layout cannot reach a Report,
+  // serializer, or digest. The path sets themselves come from compute_paths,
+  // a pure function of (graph, pair, options). Any future range-for or
+  // begin() over `cache_` is flagged by detlint and must either go through a
+  // sorted key copy or carry an annotated proof. Locked by the
+  // PathCacheTest.WarmOrderNeverReachesResults regression test.
   static std::uint64_t pack(graph::NodeId s, graph::NodeId t) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)) << 32) |
            static_cast<std::uint32_t>(t);

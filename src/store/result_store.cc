@@ -84,9 +84,11 @@ void ResultStore::load_index() {
   // The directory tree is the truth: names + sizes only, no content reads,
   // so opening a store with 100k entries is one readdir pass.
   std::error_code ec;
+  // detlint: ok(scan fills the name-keyed entries_ map; readdir order is lost)
   for (const auto& shard : fs::directory_iterator(root_ / "cells", ec)) {
     if (!shard.is_directory()) continue;
     std::error_code ec2;
+    // detlint: ok(same — insertion into a keyed map is order-independent)
     for (const auto& file : fs::directory_iterator(shard.path(), ec2)) {
       const std::string name = file.path().filename().string();
       // Skip temp files from interrupted writers and anything foreign.

@@ -1,0 +1,17 @@
+// Fixture: readdir-ordered processing — job order would differ across
+// filesystems and machines.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+void run_job(const std::filesystem::path& p);
+
+void drain_queue(const std::filesystem::path& dir) {
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {  // VIOLATION: unsorted-dir-iter
+    run_job(e.path());
+  }
+}
+
+}  // namespace fixture

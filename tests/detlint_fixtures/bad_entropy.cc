@@ -1,0 +1,12 @@
+// Fixture: ambient entropy seeding a result-producing path.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t pick_seed() {
+  std::random_device rd;  // VIOLATION: banned-entropy
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: hardware shape leaking toward results (batch sizing by core
+// count changes numbers, not just speed, unless proven otherwise).
+#include <cstddef>
+#include <thread>
+
+namespace fixture {
+
+std::size_t pick_batch_size(std::size_t items) {
+  const unsigned hw = std::thread::hardware_concurrency();  // VIOLATION: hw-concurrency
+  return items / (hw > 0 ? hw : 1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: floating-point accumulation into a shared lvalue inside a
+// parallel region — the reduction order follows the scheduler.
+#include <vector>
+
+namespace fixture {
+
+void parallel_for(int n, const void* budget, const std::vector<int>& fn);
+
+double total_weight(const std::vector<double>& weights) {
+  double total = 0.0;
+  // (Shape mirrors common/parallel.h's budgeted parallel_for.)
+  parallel_for(static_cast<int>(weights.size()), nullptr, [&](int i) {
+    total += weights[static_cast<std::size_t>(i)];  // VIOLATION: parallel-accum
+  });
+  return total;
+}
+
+}  // namespace fixture

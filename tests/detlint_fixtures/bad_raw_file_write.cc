@@ -1,0 +1,13 @@
+// Fixture: direct file write bypassing common::write_file_atomic — a
+// concurrent reader can observe a torn file.
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+void save_report(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);  // VIOLATION: raw-file-write
+  out << bytes;
+}
+
+}  // namespace fixture

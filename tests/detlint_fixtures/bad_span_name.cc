@@ -1,0 +1,16 @@
+// Fixture: obs::Span constructed with a non-literal name — the recorder
+// stores the pointer, so this dangles by export time.
+#include <string>
+
+namespace jf::obs {
+class Span;
+}
+
+namespace fixture {
+
+void traced_step(const std::string& label) {
+  jf::obs::Span span(label.c_str());  // VIOLATION: span-literal
+  (void)span;
+}
+
+}  // namespace fixture

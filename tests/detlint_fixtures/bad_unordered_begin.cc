@@ -1,0 +1,22 @@
+// Fixture: explicit iterator walk over an unordered container — the
+// non-range-for spelling of the same order dependence.
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v);
+
+struct SeenIds {
+  std::unordered_set<std::uint64_t> ids;
+
+  std::uint64_t digest() const {
+    std::uint64_t h = 0;
+    for (auto it = ids.begin(); it != ids.end(); ++it) {  // VIOLATION: unordered-iter
+      h = digest_mix(h, *it);
+    }
+    return h;
+  }
+};
+
+}  // namespace fixture

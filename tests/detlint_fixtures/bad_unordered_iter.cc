@@ -1,0 +1,22 @@
+// Fixture: iteration over an unordered container reaching a serializer.
+// Never compiled — parsed by tests/test_detlint.cc, which pins the expected
+// finding to the line carrying the trailing violation marker comment.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Report;
+void append_row(Report& r, const std::string& k, double v);
+
+struct Tally {
+  std::unordered_map<std::string, double> by_label;
+
+  void dump(Report& r) const {
+    for (const auto& [label, value] : by_label) {  // VIOLATION: unordered-iter
+      append_row(r, label, value);
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: wall-clock read outside obs/ (the result would depend on when
+// and how fast the run happened).
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::int64_t stamp_result() {
+  const auto now = std::chrono::steady_clock::now();  // VIOLATION: wall-clock
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,66 @@
+// Fixture: the determinism-correct spellings of everything the bad_*.cc
+// files get flagged for — detlint must report nothing here.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Report;
+void append_row(Report& r, const std::string& k, double v);
+void parallel_for(int n, const void* budget, const std::vector<int>& fn);
+
+struct Tally {
+  std::unordered_map<std::string, double> by_label;
+
+  // Unordered storage is fine — only *iteration order* is banned. Emit via a
+  // sorted key copy, the canonical fix for unordered-iter.
+  void dump(Report& r) const {
+    std::vector<std::string> keys;
+    keys.reserve(by_label.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) append_row(r, keys[i], 0.0);
+    std::sort(keys.begin(), keys.end());
+  }
+};
+
+// Ordered containers iterate deterministically.
+double sum_sorted(const std::map<std::string, double>& m) {
+  double total = 0.0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+// Per-index slots inside a parallel region are the sanctioned shape: each
+// index writes its own cell, the reduction happens serially afterwards.
+double parallel_then_reduce(const std::vector<double>& weights) {
+  std::vector<double> partial(weights.size(), 0.0);
+  parallel_for(static_cast<int>(weights.size()), nullptr, [&](int i) {
+    partial[static_cast<std::size_t>(i)] += weights[static_cast<std::size_t>(i)];
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;  // serial canonical apply
+  return total;
+}
+
+// Integer event counts are associative — scheduler order cannot change them
+// (the live code uses atomics; the fixture only exercises the FP filter).
+int parallel_int_count(const std::vector<int>& xs) {
+  int count = 0;
+  parallel_for(static_cast<int>(xs.size()), nullptr, [&](int i) {
+    count += xs[static_cast<std::size_t>(i)];
+  });
+  return count;
+}
+
+// Banned tokens inside string literals and comments are not code: a log line
+// mentioning "rand()" or steady_clock (like this comment) must not trip.
+const char* kHelp = "do not call rand() or srand(); std::random_device is banned";
+
+// An inline suppression with a reason silences the finding at the site.
+// detlint: ok(fixture: exercises the annotation path; value feeds nothing)
+unsigned annotated_hw_probe() { return std::thread::hardware_concurrency(); }
+
+}  // namespace fixture

@@ -1,0 +1,217 @@
+// detlint is itself a determinism gate, so it gets the same treatment as the
+// solvers: every rule is pinned by a fixture with a known violation (exact
+// rule id + file:line asserted via the `// VIOLATION:` marker), each rule's
+// attribution is proven by disabling it, clean counterexamples stay clean,
+// and the live src/ tree must lint clean modulo the checked-in allowlist —
+// the in-process version of the blocking CI gate.
+#include "detlint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+
+namespace fs = std::filesystem;
+using jf::detlint::Finding;
+using jf::detlint::Options;
+
+namespace {
+
+const fs::path kFixtures = fs::path(JF_SOURCE_DIR) / "tests" / "detlint_fixtures";
+const fs::path kRepoRoot = fs::path(JF_SOURCE_DIR);
+
+// Line (1-based) carrying the `// VIOLATION:` marker; each bad fixture has
+// exactly one, so the test pins file:line without hardcoding line numbers.
+int marker_line(const fs::path& file) {
+  std::istringstream in(jf::common::read_file(file));
+  std::string line;
+  int n = 0, found = 0, at = -1;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.find("// VIOLATION:") != std::string::npos) {
+      ++found;
+      at = n;
+    }
+  }
+  EXPECT_EQ(found, 1) << file << ": fixtures carry exactly one marker";
+  return at;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name, const Options& opts = {}) {
+  return jf::detlint::lint_paths({kFixtures / name}, kFixtures, opts);
+}
+
+struct RuleCase {
+  const char* fixture;
+  const char* rule;
+};
+
+const RuleCase kCases[] = {
+    {"bad_unordered_iter.cc", "unordered-iter"},
+    {"bad_unordered_begin.cc", "unordered-iter"},
+    {"bad_entropy.cc", "banned-entropy"},
+    {"bad_wall_clock.cc", "wall-clock"},
+    {"bad_hw_concurrency.cc", "hw-concurrency"},
+    {"bad_raw_file_write.cc", "raw-file-write"},
+    {"bad_span_name.cc", "span-literal"},
+    {"bad_parallel_accum.cc", "parallel-accum"},
+    {"bad_dir_iter.cc", "unsorted-dir-iter"},
+};
+
+}  // namespace
+
+TEST(Detlint, CatalogueCoversAtLeastSixRules) {
+  // The acceptance bar: >= 6 distinct machine-checked rules, each with id,
+  // summary, rationale, and fix hint.
+  const auto& rules = jf::detlint::rules();
+  EXPECT_GE(rules.size(), 6u);
+  for (const auto& r : rules) {
+    EXPECT_NE(jf::detlint::find_rule(r.id), nullptr);
+    EXPECT_FALSE(std::string(r.summary).empty()) << r.id;
+    EXPECT_FALSE(std::string(r.rationale).empty()) << r.id;
+    EXPECT_FALSE(std::string(r.hint).empty()) << r.id;
+  }
+  EXPECT_EQ(jf::detlint::find_rule("no-such-rule"), nullptr);
+}
+
+TEST(Detlint, EveryRuleHasAFixtureCase) {
+  // Each catalogue rule is exercised by at least one bad fixture, so adding
+  // a rule without a regression fixture fails here.
+  for (const auto& r : jf::detlint::rules()) {
+    bool covered = false;
+    for (const auto& c : kCases) covered |= std::string(c.rule) == r.id;
+    EXPECT_TRUE(covered) << "rule '" << r.id << "' has no fixture";
+  }
+}
+
+TEST(Detlint, FixturesFlagExactRuleAndLine) {
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.fixture);
+    const auto findings = lint_fixture(c.fixture);
+    ASSERT_EQ(findings.size(), 1u) << jf::detlint::format_findings(findings);
+    EXPECT_EQ(findings[0].rule, c.rule);
+    EXPECT_EQ(findings[0].file, c.fixture);
+    EXPECT_EQ(findings[0].line, marker_line(kFixtures / c.fixture));
+    EXPECT_FALSE(findings[0].message.empty());
+  }
+}
+
+TEST(Detlint, DisablingTheRuleSilencesItsFixture) {
+  // Proves attribution: each fixture's finding comes from exactly the rule
+  // it claims — switch that rule off and the fixture lints clean (and stays
+  // flagged when any *other* rule is the disabled one).
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.fixture);
+    Options off;
+    off.disabled = {c.rule};
+    EXPECT_TRUE(lint_fixture(c.fixture, off).empty());
+
+    Options other;
+    other.disabled = {std::string(c.rule) == "wall-clock" ? "banned-entropy" : "wall-clock"};
+    EXPECT_EQ(lint_fixture(c.fixture, other).size(), 1u);
+  }
+}
+
+TEST(Detlint, CleanCounterexamplesStayClean) {
+  const auto findings = lint_fixture("clean.cc");
+  EXPECT_TRUE(findings.empty()) << jf::detlint::format_findings(findings);
+}
+
+TEST(Detlint, InlineAnnotationNeedsAReason) {
+  const std::string bare = "#include <thread>\n"
+                           "// detlint: ok()\n"
+                           "unsigned f() { return std::thread::hardware_concurrency(); }\n";
+  EXPECT_EQ(jf::detlint::lint_text("x.cc", bare, {}).size(), 1u);
+
+  const std::string reasoned =
+      "#include <thread>\n"
+      "// detlint: ok(count picks speed only, never bytes)\n"
+      "unsigned f() { return std::thread::hardware_concurrency(); }\n";
+  EXPECT_TRUE(jf::detlint::lint_text("x.cc", reasoned, {}).empty());
+
+  // Trailing on the flagged line works too.
+  const std::string trailing =
+      "#include <thread>\n"
+      "unsigned f() { return std::thread::hardware_concurrency(); }  // detlint: ok(speed)\n";
+  EXPECT_TRUE(jf::detlint::lint_text("x.cc", trailing, {}).empty());
+}
+
+TEST(Detlint, TokensInStringsAndCommentsDoNotTrip) {
+  const std::string text =
+      "// calls rand() and srand() and std::random_device all day\n"
+      "const char* kMsg = \"rand() srand() steady_clock ofstream\";\n"
+      "/* directory_iterator hardware_concurrency */ int x = 0;\n";
+  EXPECT_TRUE(jf::detlint::lint_text("x.cc", text, {}).empty());
+}
+
+TEST(Detlint, AllowlistSuppressesByRuleAndPath) {
+  Options opts;
+  opts.allowlist = {{"wall-clock", "bad_wall_clock.cc"}};
+  EXPECT_TRUE(lint_fixture("bad_wall_clock.cc", opts).empty());
+
+  // Wrong rule or wrong path leaves the finding in place; "*" matches any.
+  Options wrong_rule;
+  wrong_rule.allowlist = {{"banned-entropy", "bad_wall_clock.cc"}};
+  EXPECT_EQ(lint_fixture("bad_wall_clock.cc", wrong_rule).size(), 1u);
+
+  Options star;
+  star.allowlist = {{"*", "bad_wall_clock.cc"}};
+  EXPECT_TRUE(lint_fixture("bad_wall_clock.cc", star).empty());
+
+  // Suffix matching aligns to path components: "lock.cc" must not match
+  // "bad_wall_clock.cc".
+  Options partial;
+  partial.allowlist = {{"wall-clock", "lock.cc"}};
+  EXPECT_EQ(lint_fixture("bad_wall_clock.cc", partial).size(), 1u);
+}
+
+TEST(Detlint, AllowlistParserIsStrict) {
+  const Options parsed = jf::detlint::parse_allowlist(
+      "# comment\n"
+      "\n"
+      "wall-clock src/foo/bar.cc  # trailing comment\n"
+      "* src/generated/all.cc\n");
+  ASSERT_EQ(parsed.allowlist.size(), 2u);
+  EXPECT_EQ(parsed.allowlist[0].first, "wall-clock");
+  EXPECT_EQ(parsed.allowlist[0].second, "src/foo/bar.cc");
+  EXPECT_EQ(parsed.allowlist[1].first, "*");
+
+  EXPECT_THROW(jf::detlint::parse_allowlist("no-such-rule src/foo.cc\n"), std::runtime_error);
+  EXPECT_THROW(jf::detlint::parse_allowlist("wall-clock\n"), std::runtime_error);
+  EXPECT_THROW(jf::detlint::parse_allowlist("wall-clock a.cc extra\n"), std::runtime_error);
+}
+
+TEST(Detlint, FindingsAreSortedAndFormatted) {
+  // One pass over the whole fixture directory: deterministic order by
+  // (file, line, rule), and the formatter names every rule's hint once.
+  const auto findings = jf::detlint::lint_paths({kFixtures}, kFixtures, {});
+  ASSERT_GE(findings.size(), 9u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    const auto& a = findings[i - 1];
+    const auto& b = findings[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.rule), std::tie(b.file, b.line, b.rule));
+  }
+  const std::string report = jf::detlint::format_findings(findings);
+  EXPECT_NE(report.find("bad_entropy.cc:"), std::string::npos);
+  EXPECT_NE(report.find("[banned-entropy]"), std::string::npos);
+  EXPECT_NE(report.find("finding(s)"), std::string::npos);
+  EXPECT_TRUE(jf::detlint::format_findings({}).empty());
+}
+
+TEST(Detlint, LiveSourceTreeIsCleanModuloAllowlist) {
+  // The in-process twin of CI's blocking `detlint` step: src/ (and the
+  // linter's own sources) must carry no unexplained determinism violations.
+  Options opts;
+  const fs::path allow = kRepoRoot / "tools" / "detlint" / "allowlist.txt";
+  if (fs::exists(allow)) {
+    opts.allowlist = jf::detlint::parse_allowlist(jf::common::read_file(allow)).allowlist;
+  }
+  const auto findings =
+      jf::detlint::lint_paths({kRepoRoot / "src", kRepoRoot / "tools"}, kRepoRoot, opts);
+  EXPECT_TRUE(findings.empty()) << jf::detlint::format_findings(findings);
+}

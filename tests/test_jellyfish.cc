@@ -169,7 +169,9 @@ TEST_P(JellyfishProperties, RegularConnectedAndExpandable) {
   EXPECT_LE(deficit, 1);
 
   // r >= 3 RRGs are connected with overwhelming probability at these sizes.
-  if (r >= 3) EXPECT_TRUE(graph::is_connected(t.switches()));
+  if (r >= 3) {
+    EXPECT_TRUE(graph::is_connected(t.switches()));
+  }
 
   // Expansion maintains all invariants.
   expand_add_switch(t, k, r, k - r, rng);

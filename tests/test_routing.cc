@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "flow/maxmin.h"
 #include "routing/diversity.h"
+#include "routing/path_provider.h"
 #include "routing/paths.h"
 #include "topo/fattree.h"
 #include "topo/jellyfish.h"
@@ -69,6 +70,51 @@ TEST(PathCacheTest, CachesPerPair) {
   EXPECT_EQ(&a, &b);  // same object, no recompute
   cache.paths(5, 0);
   EXPECT_EQ(cache.pairs_cached(), 2u);  // directions are distinct entries
+}
+
+// Locks the audit in routing/paths.h: PathCache's unordered_map is probe-only,
+// so the *order pairs were warmed in* — the one thing an unordered container
+// is allowed to remember — must be unobservable. Warm two caches and two
+// providers with opposite pair orders and demand byte-equal paths and routes
+// for every pair; if iteration order (or any other insertion-history state)
+// ever leaked into path lookup, this is the test that goes red.
+TEST(PathCacheTest, WarmOrderNeverReachesResults) {
+  Rng rng(7);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 24, .ports_per_switch = 8, .network_degree = 5}, rng);
+  const auto& g = topo.switches();
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId s = 0; s < 12; ++s) {
+    for (graph::NodeId t = 0; t < 12; ++t) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+
+  for (const RoutingOptions opts : {RoutingOptions{Scheme::kKsp, 4},
+                                    RoutingOptions{Scheme::kEcmp, 8}}) {
+    PathCache fwd(g, opts);
+    PathCache rev(g, opts);
+    for (const auto& [s, t] : pairs) fwd.paths(s, t);
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) rev.paths(it->first, it->second);
+    EXPECT_EQ(fwd.pairs_cached(), rev.pairs_cached());
+    for (const auto& [s, t] : pairs) {
+      EXPECT_EQ(fwd.paths(s, t), rev.paths(s, t))
+          << "pair (" << s << "," << t << ") depends on warm order";
+    }
+
+    // Same invariant one level up, through the polymorphic provider (the
+    // sim/flow consumers): identical flow keys must route identically no
+    // matter which pairs were queried first.
+    auto p1 = make_path_provider(g, opts);
+    auto p2 = make_path_provider(g, opts);
+    for (const auto& [s, t] : pairs) p1->paths(s, t);
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) p2->paths(it->first, it->second);
+    for (const auto& [s, t] : pairs) {
+      for (std::uint64_t flow_key : {0ull, 17ull, 123456789ull}) {
+        EXPECT_EQ(p1->route(s, t, flow_key), p2->route(s, t, flow_key));
+      }
+    }
+  }
 }
 
 TEST(Diversity, CountsPathsPerLink) {

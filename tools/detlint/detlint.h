@@ -1,0 +1,83 @@
+// detlint — the repo's determinism linter.
+//
+// Every reproducibility claim this repo makes (reports byte-identical at any
+// --threads / --sim-shards, warm cache == cold cache) rests on a handful of
+// coding invariants: canonical-order merges, sorted iteration before
+// anything observable, one-stream RNG discipline, atomic file writes.
+// detlint turns those invariants from review-time folklore into
+// machine-checked rules over the source tree.
+//
+// The checker is deliberately lexical, not a compiler: it strips comments,
+// blanks string/char literal *contents* (the quotes stay, so "is the first
+// Span argument a literal?" remains answerable), and then pattern-matches
+// per rule. That keeps it dependency-free and fast, at the cost of relying
+// on the repo's idiom (one declaration per line, clang-format layout) —
+// which CI enforces anyway. False positives are handled at the site with
+//   // detlint: ok(<reason>)
+// on the flagged line or the line directly above, or — for whole-file
+// suppressions — with an entry in tools/detlint/allowlist.txt, so every
+// suppression is diffable and review lands on the reason.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jf::detlint {
+
+// One rule of the catalogue. `rationale` ties the rule to the determinism
+// argument (shown by `detlint --list-rules` and quoted in the README).
+struct RuleInfo {
+  const char* id;         // stable kebab-case id, e.g. "unordered-iter"
+  const char* summary;    // one-line description of what is flagged
+  const char* rationale;  // why this breaks byte-identity
+  const char* hint;       // how to fix (or when to annotate instead)
+};
+
+// The rule catalogue, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+// Looks up a rule by id; nullptr when unknown.
+const RuleInfo* find_rule(const std::string& id);
+
+struct Finding {
+  std::string file;  // path as displayed (relative to the lint root)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  // Rule ids switched off entirely (tests use this to prove each fixture
+  // finding is attributable to exactly one rule).
+  std::vector<std::string> disabled;
+  // Whole-file suppressions: (rule id or "*", path suffix). A suffix matches
+  // the display path exactly or at a '/' boundary.
+  std::vector<std::pair<std::string, std::string>> allowlist;
+};
+
+// Parses the allowlist format: one `<rule-id|*> <path-suffix>` pair per
+// line; '#' starts a comment; blank lines ignored. Throws std::runtime_error
+// (with the line number) on malformed lines or unknown rule ids, so a typo
+// in a suppression cannot silently disable nothing.
+Options parse_allowlist(const std::string& text);
+
+// Lints one translation unit given as text. `display_path` is used for
+// reporting, allowlist matching, and the per-rule built-in path exemptions
+// (e.g. wall-clock reads are legal inside src/obs/).
+std::vector<Finding> lint_text(const std::string& display_path, const std::string& text,
+                               const Options& opts);
+
+// Lints files and directory trees (directories are scanned recursively for
+// .h/.hpp/.cc/.cpp, visited in sorted relative-path order — the linter obeys
+// its own unsorted-dir-iter rule). Display paths are made relative to
+// `rel_base` when possible. Findings come back sorted by (file, line, rule).
+std::vector<Finding> lint_paths(const std::vector<std::filesystem::path>& paths,
+                                const std::filesystem::path& rel_base, const Options& opts);
+
+// "file:line: [rule] message" lines plus a trailing summary/hint block;
+// empty string when there are no findings.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace jf::detlint

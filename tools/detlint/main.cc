@@ -1,0 +1,124 @@
+// detlint CLI — lints the tree for determinism-invariant violations.
+//
+//   detlint                              # lint <root>/src with the checked-in allowlist
+//   detlint --root /path/to/repo src tools
+//   detlint --disable wall-clock src
+//   detlint --list-rules                 # rule catalogue with rationale
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. CI runs this as a
+// blocking gate; see README "Correctness tooling".
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "detlint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: detlint [--root DIR] [--allowlist FILE] [--disable r1,r2]\n"
+        "               [--list-rules] [--quiet] [paths...]\n"
+        "\n"
+        "Lints C++ sources (.h/.hpp/.cc/.cpp) for violations of the repo's\n"
+        "determinism invariants. Paths are resolved against --root (default .);\n"
+        "with no paths, lints <root>/src. The allowlist defaults to\n"
+        "<root>/tools/detlint/allowlist.txt when present; inline suppressions\n"
+        "use '// detlint: ok(<reason>)' on the flagged or preceding line.\n";
+  return code;
+}
+
+void list_rules(std::ostream& os) {
+  for (const auto& r : jf::detlint::rules()) {
+    os << r.id << "\n  flags:     " << r.summary << "\n  rationale: " << r.rationale
+       << "\n  fix:       " << r.hint << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_path;
+  std::vector<std::string> disabled;
+  std::vector<std::string> inputs;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value();
+    } else if (arg == "--allowlist") {
+      allowlist_path = value();
+    } else if (arg == "--disable") {
+      std::string list = value();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string id = list.substr(pos, comma - pos);
+        if (!id.empty()) {
+          if (jf::detlint::find_rule(id) == nullptr) {
+            std::cerr << "detlint: unknown rule '" << id << "'\n";
+            return 2;
+          }
+          disabled.push_back(id);
+        }
+        pos = comma + 1;
+      }
+    } else if (arg == "--list-rules") {
+      list_rules(std::cout);
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  try {
+    const fs::path root_path(root);
+    jf::detlint::Options opts;
+    opts.disabled = disabled;
+    fs::path allow = allowlist_path.empty()
+                         ? root_path / "tools" / "detlint" / "allowlist.txt"
+                         : fs::path(allowlist_path);
+    if (!allowlist_path.empty() || fs::exists(allow)) {
+      opts.allowlist = jf::detlint::parse_allowlist(jf::common::read_file(allow)).allowlist;
+    }
+    if (inputs.empty()) inputs.push_back("src");
+    std::vector<fs::path> paths;
+    for (const auto& in : inputs) {
+      const fs::path p = fs::path(in).is_absolute() ? fs::path(in) : root_path / in;
+      if (!fs::exists(p)) {
+        std::cerr << "detlint: no such path: " << p.string() << "\n";
+        return 2;
+      }
+      paths.push_back(p);
+    }
+    const auto findings = jf::detlint::lint_paths(paths, root_path, opts);
+    if (findings.empty()) {
+      if (!quiet) std::cout << "detlint: clean\n";
+      return 0;
+    }
+    std::cerr << jf::detlint::format_findings(findings);
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "detlint: error: " << e.what() << "\n";
+    return 2;
+  }
+}
