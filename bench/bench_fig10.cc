@@ -1,53 +1,42 @@
 // Figure 10: packet-level (k-shortest paths + MPTCP) vs. fluid-optimal
 // throughput on the same Jellyfish topologies.
 //
-// Paper shape: simple 8-SP routing with MPTCP achieves 86-90% of the
-// CPLEX-optimal throughput at every size (the fluid engine here is the
-// Garg-Könemann solver).
-#include <iostream>
+// Ported onto the experiment farm: scenarios/fig1x.json runs the paired
+// jellyfish/fat-tree sweep with the throughput (fluid MCF optimal),
+// packet_sim, and flow_stats metrics; this bench derives the figure's
+// headline ratio — simple 8-shortest-paths routing with MPTCP against the
+// fluid optimum on the identical topologies and traffic matrices. Paper
+// shape: ~86-90% of optimal at every size.
+#include <cmath>
+#include <ostream>
 
-#include "common/rng.h"
-#include "common/table.h"
-#include "flow/throughput.h"
-#include "sim/workload.h"
-#include "topo/jellyfish.h"
+#include "eval/bench_driver.h"
 
-int main() {
-  using namespace jf;
-  // Slightly oversubscribed Jellyfish (5 servers vs 7 network ports per
-  // switch) so routing inefficiency is visible, as in the paper.
-  const int ports = 12, servers_per_switch = 5;
-  const int degree = ports - servers_per_switch;
-  const int switch_counts[] = {14, 33, 67, 120};  // ~70..600 servers
-  const int runs = 2;
-  Rng rng(1010);
+namespace {
 
-  print_banner(std::cout, "Figure 10: packet-level vs fluid-optimal throughput (same topology)");
-  Table table({"servers", "fluid_optimal", "packet_ksp_mptcp", "ratio"});
-
-  for (int n : switch_counts) {
-    double fluid = 0.0, packet = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      Rng r = rng.fork(static_cast<std::uint64_t>(n) * 10 + run);
-      auto topo = topo::build_jellyfish(
-          {.num_switches = n, .ports_per_switch = ports, .network_degree = degree}, r);
-
-      Rng fluid_rng = r.fork(1), pkt_rng = r.fork(2);
-      fluid += flow::permutation_throughput(topo, fluid_rng, {}) / runs;
-
-      sim::WorkloadConfig cfg;
-      cfg.routing = {routing::Scheme::kKsp, 8};
-      cfg.transport = sim::Transport::kMptcp;
-      cfg.subflows = 8;
-      auto res = sim::run_permutation_workload(topo, cfg, pkt_rng);
-      packet += res.mean_flow_throughput / runs;
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  os << "\npaper shape: packet-level throughput ~86-90% of the fluid optimum:\n";
+  for (const auto& point : report.points) {
+    const double fluid = jf::eval::mean_for(point, "jellyfish", "throughput");
+    double packet = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& row : point.report.aggregates()) {
+      if (row.metric == "sim_goodput" && row.topology.starts_with("jellyfish") &&
+          row.routing.starts_with("ksp")) {
+        packet = row.summary.mean;
+        break;
+      }
     }
-    table.add_row({Table::fmt(n * servers_per_switch), Table::fmt(fluid), Table::fmt(packet),
-                   Table::fmt(fluid > 0 ? packet / fluid : 0.0)});
-    std::cout << "  [" << n * servers_per_switch << " servers done]\n";
+    if (std::isnan(fluid) || std::isnan(packet) || fluid <= 0.0) continue;
+    os << "  " << point.label << ": packet " << packet << " vs fluid " << fluid
+       << " -> ratio " << packet / fluid << "\n";
   }
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: packet-level throughput ~86-90% of the fluid optimum.\n";
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv,
+      "Figure 10: packet-level vs fluid-optimal throughput (same topology)",
+      JF_SCENARIO_DIR "/fig1x.json", shape_note);
 }

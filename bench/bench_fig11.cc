@@ -1,78 +1,56 @@
-// Figure 11: servers supported at the fat-tree's packet-level throughput,
-// vs. equipment cost.
+// Figure 11: packet-level throughput of same-equipment fat-tree vs
+// Jellyfish pairs.
 //
-// The packet-level analogue of Fig. 2(c): for each fat-tree (ECMP + MPTCP),
-// binary-search the largest same-equipment Jellyfish (8-SP + MPTCP) whose
-// mean per-server throughput matches the fat-tree's. Paper shape: >25% more
-// servers at the largest scale, with routing/transport inefficiency only
-// marginally reducing the fluid-model gains.
-#include <iostream>
+// Ported onto the experiment farm: scenarios/fig1x.json pairs each fat-tree
+// k with the equal-equipment Jellyfish (same switch count and port count)
+// hosting the same server total, and runs both under MPTCP — the fat-tree
+// on ECMP-8, Jellyfish compared on 8-shortest-paths. The paired traffic
+// matrices (identical per seed across routings and topologies of a point)
+// make the comparison flow-by-flow, via the flow_stats per-flow percentiles.
+// Paper shape: Jellyfish meets or beats the fat-tree's packet-level
+// throughput with equipment to spare — the headroom the paper converts into
+// ~15-25% more servers at equal throughput.
+#include <cmath>
+#include <ostream>
 
-#include "common/rng.h"
-#include "common/table.h"
-#include "sim/workload.h"
-#include "topo/fattree.h"
-#include "topo/jellyfish.h"
+#include "eval/bench_driver.h"
 
 namespace {
 
-double packet_throughput(const jf::topo::Topology& topo, jf::routing::Scheme scheme,
-                         jf::Rng& rng) {
-  jf::sim::WorkloadConfig cfg;
-  cfg.routing = {scheme, 8};
-  cfg.transport = jf::sim::Transport::kMptcp;
-  cfg.subflows = 8;
-  cfg.warmup_ns = 10 * jf::sim::kMillisecond;
-  cfg.measure_ns = 25 * jf::sim::kMillisecond;
-  auto res = jf::sim::run_permutation_workload(topo, cfg, rng);
-  return res.mean_flow_throughput;
+double routed_mean(const jf::eval::SweepPointResult& point, std::string_view topo,
+                   std::string_view routing, std::string_view metric) {
+  for (const auto& row : point.report.aggregates()) {
+    if (row.metric == metric && row.topology.starts_with(topo) &&
+        row.routing.starts_with(routing)) {
+      return row.summary.mean;
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  os << "\npaper shape: jellyfish (8-SP) >= fat-tree (ECMP) goodput on the same"
+        " equipment and flows:\n";
+  for (const auto& point : report.points) {
+    const double ft = routed_mean(point, "fattree", "ecmp", "sim_goodput");
+    const double jf = routed_mean(point, "jellyfish", "ksp", "sim_goodput");
+    const double ft_min = routed_mean(point, "fattree", "ecmp", "flow_tput_min");
+    const double jf_min = routed_mean(point, "jellyfish", "ksp", "flow_tput_min");
+    if (std::isnan(ft) || std::isnan(jf) || ft <= 0.0) continue;
+    os << "  " << point.label << ": jellyfish " << jf << " vs fat-tree " << ft
+       << " -> headroom " << 100.0 * (jf / ft - 1.0) << "%";
+    if (!std::isnan(ft_min) && !std::isnan(jf_min)) {
+      os << " (worst flow " << jf_min << " vs " << ft_min << ")";
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace
 
-int main() {
-  using namespace jf;
-  Rng rng(1111);
-  print_banner(std::cout, "Figure 11: servers at full packet-level throughput vs cost");
-  Table table({"k", "total_ports", "fattree_servers", "ft_tput", "jellyfish_servers",
-               "advantage_pct"});
-
-  for (int k : {4, 6, 8}) {
-    const int switches = topo::fattree_switches(k);
-    const int ft_servers = topo::fattree_servers(k);
-    auto ft = topo::build_fattree(k);
-    Rng ft_rng = rng.fork(static_cast<std::uint64_t>(k));
-    const double ft_tput = packet_throughput(ft, routing::Scheme::kEcmp, ft_rng);
-    const double target = ft_tput - 0.01;  // small tolerance, as in the paper
-
-    auto feasible = [&](int servers) {
-      Rng r = rng.fork(static_cast<std::uint64_t>(k) * 1000 + servers);
-      auto jelly = topo::build_jellyfish_with_servers(switches, k, servers, r);
-      return packet_throughput(jelly, routing::Scheme::kKsp, r) >= target;
-    };
-
-    int lo = ft_servers;  // Jellyfish should at least match the fat-tree
-    int hi = switches * (k - 2);
-    if (!feasible(lo)) {
-      // Walk down if the equal count already misses the bar.
-      while (lo > 2 && !feasible(lo)) lo -= std::max(1, ft_servers / 16);
-      hi = lo;
-    }
-    while (lo < hi) {
-      const int mid = lo + (hi - lo + 1) / 2;
-      if (feasible(mid)) lo = mid;
-      else hi = mid - 1;
-    }
-    const double adv = 100.0 * (static_cast<double>(lo) / ft_servers - 1.0);
-    table.add_row({Table::fmt(k), Table::fmt(static_cast<std::size_t>(switches) * k),
-                   Table::fmt(ft_servers), Table::fmt(ft_tput), Table::fmt(lo),
-                   Table::fmt(adv, 1)});
-    std::cout << "  [k=" << k << " done: jellyfish " << lo << " vs fat-tree " << ft_servers
-              << "]\n";
-  }
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: Jellyfish hosts ~15-25% more servers at the same packet-level"
-               " throughput, growing with scale.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv,
+      "Figure 11: same-equipment fat-tree vs jellyfish packet-level throughput",
+      JF_SCENARIO_DIR "/fig1x.json", shape_note);
 }

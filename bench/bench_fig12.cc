@@ -1,61 +1,72 @@
 // Figure 12: stability of packet-level throughput across runs.
 //
-// Average / min / max normalized per-server throughput over repeated runs
-// (topology and traffic resampled), for same-equipment fat-tree and
-// Jellyfish pairs. Paper shape: both are stable (y-axis starts at 91% in
-// the paper); Jellyfish carries more servers at equal or higher throughput.
-#include <iostream>
-#include <vector>
+// Ported onto the experiment farm: scenarios/fig1x.json evaluates each
+// same-equipment fat-tree/Jellyfish pair over several seeds (topology and
+// traffic resampled per seed), and this bench reads the avg/min/max spread
+// of sim_goodput — plus the per-flow floor from the flow_stats telemetry
+// metrics — straight from the per-seed samples. Paper shape: both
+// topologies are stable (narrow min/max bands; the paper's y-axis starts at
+// 91%), with Jellyfish at equal or higher throughput.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <string_view>
 
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "sim/workload.h"
-#include "topo/fattree.h"
-#include "topo/jellyfish.h"
+#include "eval/bench_driver.h"
 
-int main() {
-  using namespace jf;
-  const int runs = 5;
-  Rng rng(1212);
+namespace {
 
-  print_banner(std::cout, "Figure 12: throughput stability (avg/min/max over runs)");
-  Table table({"topology", "servers", "avg", "min", "max"});
+struct Spread {
+  double avg = std::numeric_limits<double>::quiet_NaN();
+  double min = 0.0;
+  double max = 0.0;
+  int n = 0;
+};
 
-  for (int k : {4, 6, 8}) {
-    const int switches = topo::fattree_switches(k);
-    const int ft_servers = topo::fattree_servers(k);
-    // Equal server count: at packet-sim scale (k <= 8) the Fig. 11 matched
-    // count is ~equal; the figure's claim under test is stability, not gain.
-    const int jf_servers = ft_servers;
-
-    std::vector<double> ft_vals, jf_vals;
-    for (int run = 0; run < runs; ++run) {
-      Rng fr = rng.fork(static_cast<std::uint64_t>(k) * 100 + run);
-      sim::WorkloadConfig cfg;
-      cfg.routing = {routing::Scheme::kEcmp, 8};
-      cfg.transport = sim::Transport::kMptcp;
-      cfg.subflows = 8;
-      cfg.warmup_ns = 10 * sim::kMillisecond;
-      cfg.measure_ns = 25 * sim::kMillisecond;
-      auto ft = topo::build_fattree(k);
-      ft_vals.push_back(sim::run_permutation_workload(ft, cfg, fr).mean_flow_throughput);
-
-      Rng jr = rng.fork(static_cast<std::uint64_t>(k) * 100 + run + 50);
-      auto jelly = topo::build_jellyfish_with_servers(switches, k, jf_servers, jr);
-      cfg.routing = {routing::Scheme::kKsp, 8};
-      jf_vals.push_back(sim::run_permutation_workload(jelly, cfg, jr).mean_flow_throughput);
+// Min/max over the per-seed samples (the aggregate table already shows the
+// mean; the figure's claim under test is the width of the band).
+Spread spread_for(const jf::eval::SweepPointResult& point, std::string_view topo,
+                  std::string_view routing, std::string_view metric) {
+  const auto& r = point.report;
+  Spread s;
+  double sum = 0.0;
+  for (const auto& sample : r.samples) {
+    if (sample.metric != metric) continue;
+    if (!r.topology_labels.at(static_cast<std::size_t>(sample.topology)).starts_with(topo)) {
+      continue;
     }
-    auto fs = summarize(ft_vals);
-    auto js = summarize(jf_vals);
-    table.add_row({"fattree(k=" + std::to_string(k) + ")", Table::fmt(ft_servers),
-                   Table::fmt(fs.mean), Table::fmt(fs.min), Table::fmt(fs.max)});
-    table.add_row({"jellyfish", Table::fmt(jf_servers), Table::fmt(js.mean),
-                   Table::fmt(js.min), Table::fmt(js.max)});
-    std::cout << "  [k=" << k << " done]\n";
+    if (sample.routing < 0 ||
+        !r.routing_labels.at(static_cast<std::size_t>(sample.routing)).starts_with(routing)) {
+      continue;
+    }
+    s.min = s.n == 0 ? sample.value : std::min(s.min, sample.value);
+    s.max = s.n == 0 ? sample.value : std::max(s.max, sample.value);
+    sum += sample.value;
+    ++s.n;
   }
-  table.print(std::cout);
-  table.print_csv(std::cout);
-  std::cout << "\npaper shape: min/max bands are narrow for both topologies.\n";
-  return 0;
+  if (s.n > 0) s.avg = sum / s.n;
+  return s;
+}
+
+void shape_note(const jf::eval::SweepReport& report, std::ostream& os) {
+  os << "\npaper shape: min/max bands are narrow for both topologies:\n";
+  for (const auto& point : report.points) {
+    const Spread ft = spread_for(point, "fattree", "ecmp", "sim_goodput");
+    const Spread jf = spread_for(point, "jellyfish", "ksp", "sim_goodput");
+    if (ft.n == 0 || jf.n == 0) continue;
+    os << "  " << point.label << ":\n"
+       << "    fattree (ecmp)   avg " << ft.avg << " min " << ft.min << " max " << ft.max
+       << "\n"
+       << "    jellyfish (ksp)  avg " << jf.avg << " min " << jf.min << " max " << jf.max
+       << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return jf::eval::sweep_bench_main(
+      argc, argv, "Figure 12: throughput stability (avg/min/max over runs)",
+      JF_SCENARIO_DIR "/fig1x.json", shape_note);
 }

@@ -25,6 +25,7 @@
 #include "common/json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "sim/telemetry.h"
 #include "sim/workload.h"
 #include "topo/jellyfish.h"
 #include "traffic/traffic.h"
@@ -91,16 +92,20 @@ int main(int argc, char** argv) {
     // timed run so route enumeration stays out of the measurement.
     auto routes = routing::make_path_provider(topo.switches(), cfg.routing);
 
-    auto run_once = [&](int shards, int threads, sim::WorkloadResult& out) {
+    // `rec` (may be null) attaches the telemetry layer for the run — the
+    // on-vs-off wall-time gap is the recording overhead, and the result
+    // must be byte-identical either way (recording is observational).
+    auto run_once = [&](int shards, int threads, sim::WorkloadResult& out,
+                        sim::Telemetry* rec) {
       sim::WorkloadConfig c = cfg;
       c.shards = shards;
       Rng rng(kSeed + 100);
       const auto start = std::chrono::steady_clock::now();
       if (threads <= 1) {
-        out = sim::run_workload(topo, tm, c, *routes, rng);
+        out = sim::run_workload(topo, tm, c, *routes, rng, nullptr, rec);
       } else {
         parallel::WorkBudget budget(threads - 1);
-        out = sim::run_workload(topo, tm, c, *routes, rng, &budget);
+        out = sim::run_workload(topo, tm, c, *routes, rng, &budget, rec);
       }
       return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -114,12 +119,27 @@ int main(int argc, char** argv) {
     double serial_best = std::numeric_limits<double>::infinity();
     for (int k = 0; k < std::max(1, repeats); ++k) {
       sim::WorkloadResult res;
-      serial_best = std::min(serial_best, run_once(1, 1, res));
+      serial_best = std::min(serial_best, run_once(1, 1, res, nullptr));
       reference = res;
+    }
+    // Serial telemetry reference: the dataset every telemetry-on run below
+    // must reproduce byte-identically, and the serial recording overhead.
+    sim::TelemetryDataset reference_data;
+    double serial_telem_best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < std::max(1, repeats); ++k) {
+      sim::Telemetry rec(sim::TelemetryConfig{cfg.telemetry_epoch_ns});
+      sim::WorkloadResult res;
+      serial_telem_best = std::min(serial_telem_best, run_once(1, 1, res, &rec));
+      if (!same_result(res, reference)) {
+        std::cerr << "bench_sim_scaling: telemetry changed the serial result — "
+                     "observational contract broken\n";
+        return 1;
+      }
+      reference_data = rec.take_dataset();
     }
     std::cerr << "serial: " << serial_best << " s  (mean goodput "
               << reference.mean_flow_throughput << ", drops " << reference.packet_drops
-              << ")\n";
+              << "; with telemetry " << serial_telem_best << " s)\n";
 
     json::Object root;
     root.emplace_back("benchmark", std::string("sim_scaling"));
@@ -132,6 +152,7 @@ int main(int argc, char** argv) {
     root.emplace_back("repeats", repeats);
     root.emplace_back("hardware_concurrency", parallel::resolve_threads(0));
     root.emplace_back("serial_best_seconds", serial_best);
+    root.emplace_back("serial_telemetry_best_seconds", serial_telem_best);
 
     json::Array runs;
     for (int shards : {1, 2, 8}) {
@@ -140,21 +161,38 @@ int main(int argc, char** argv) {
         sim::WorkloadResult res;
         double best = std::numeric_limits<double>::infinity();
         for (int k = 0; k < std::max(1, repeats); ++k) {
-          best = std::min(best, run_once(shards, threads, res));
+          best = std::min(best, run_once(shards, threads, res, nullptr));
         }
         if (!same_result(res, reference)) {
           std::cerr << "bench_sim_scaling: results diverged at shards " << shards
                     << ", threads " << threads << " — determinism bug\n";
           return 1;
         }
+        // Telemetry-on pass: same run with the recorder attached. The
+        // result AND the recorded dataset must match the serial reference
+        // byte-for-byte; the wall-time gap is the recording overhead.
+        double telem_best = std::numeric_limits<double>::infinity();
+        for (int k = 0; k < std::max(1, repeats); ++k) {
+          sim::Telemetry rec(sim::TelemetryConfig{cfg.telemetry_epoch_ns});
+          telem_best = std::min(telem_best, run_once(shards, threads, res, &rec));
+          if (!same_result(res, reference) || !(rec.dataset() == reference_data)) {
+            std::cerr << "bench_sim_scaling: telemetry run diverged at shards " << shards
+                      << ", threads " << threads << " — determinism bug\n";
+            return 1;
+          }
+        }
         const double speedup = best > 0 ? serial_best / best : 0.0;
+        const double overhead_pct = best > 0 ? 100.0 * (telem_best / best - 1.0) : 0.0;
         std::cerr << "shards " << shards << " threads " << threads << ": " << best
-                  << " s  (speedup " << speedup << "x)\n";
+                  << " s  (speedup " << speedup << "x, telemetry " << telem_best
+                  << " s = " << overhead_pct << "% overhead)\n";
         json::Object run;
         run.emplace_back("shards", shards);
         run.emplace_back("threads", threads);
         run.emplace_back("best_seconds", best);
         run.emplace_back("speedup_vs_serial", speedup);
+        run.emplace_back("telemetry_best_seconds", telem_best);
+        run.emplace_back("telemetry_overhead_pct", overhead_pct);
         runs.emplace_back(json::Value(std::move(run)));
       }
     }

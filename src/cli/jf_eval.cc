@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/fs.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "eval/serialize.h"
 #include "eval/sweep.h"
@@ -57,6 +58,7 @@ int usage(std::ostream& os, int code) {
         "                      [--format table|csv|json] [--quiet]\n"
         "                      [--cache-dir DIR] [--cache-budget-mb N]\n"
         "                      [--trace-out FILE] [--metrics-out FILE]\n"
+        "                      [--telemetry-out FILE]\n"
         "      Execute the scenario (or sweep) and render the report.\n"
         "      --threads N   global worker budget shared by concurrent cells and\n"
         "                    within-cell solvers (0 = hardware concurrency);\n"
@@ -81,16 +83,25 @@ int usage(std::ostream& os, int code) {
         "                    observational: the report stays byte-identical.\n"
         "      --metrics-out FILE  write the merged counter/gauge/histogram\n"
         "                    registry as plain JSON after the run\n"
+        "      --telemetry-out FILE  write the full data-plane telemetry dataset\n"
+        "                    (per-flow FCT records + per-link epoch series of every\n"
+        "                    simulated cell — see eval/serialize.h) as JSON. Purely\n"
+        "                    observational: the report stays byte-identical. Needs a\n"
+        "                    packet_sim/flow_stats metric to produce cells; not\n"
+        "                    combinable with --cache-dir (a cache hit would skip the\n"
+        "                    simulation that records the data).\n"
         "  serve --queue DIR [--out-dir DIR] [--cache-dir DIR] [--cache-budget-mb N]\n"
         "                    [--threads N] [--poll-ms MS] [--once] [--quiet]\n"
         "                    [--trace-out FILE] [--metrics-out FILE]\n"
+        "                    [--telemetry-out FILE]\n"
         "      Watch DIR for scenario files (*.json, filename order) and run each\n"
         "      on one warm engine + result store. Per job: report JSON in\n"
         "      --out-dir (default DIR/reports), the scenario file moves to\n"
         "      DIR/done (DIR/failed on error), one status line on stdout.\n"
         "      --once drains the queue and exits (instead of polling forever,\n"
-        "      default every 500 ms). --trace-out/--metrics-out are rewritten\n"
-        "      after every job (metrics and spans reset per job).\n"
+        "      default every 500 ms). --trace-out/--metrics-out/--telemetry-out\n"
+        "      are rewritten after every job (metrics and spans reset per job;\n"
+        "      --telemetry-out excludes --cache-dir, like in run mode).\n"
         "  print <scenario.json>\n"
         "      Validate the file and list the expanded sweep points (dry run).\n"
         "  list\n"
@@ -157,6 +168,45 @@ std::string stats_line(const eval::BatchStats& st, const store::ResultStore* sto
   return line;
 }
 
+// Appended to the [stats] line when telemetry was collected: flow count,
+// FCT tail, and the hottest link's whole-run utilization across every
+// simulated cell of the batch.
+std::string telemetry_stats(const std::vector<eval::ScenarioTelemetry>& points) {
+  std::vector<double> fct;
+  std::int64_t flows = 0;
+  double worst = 0.0;
+  for (const auto& p : points) {
+    for (const auto& c : p.cells) {
+      flows += static_cast<std::int64_t>(c.data.flows.size());
+      for (const auto& f : c.data.flows) fct.push_back(sim::fct_seconds(f));
+      worst = std::max(worst, sim::worst_link_utilization(c.data));
+    }
+  }
+  std::string line = " flows=" + std::to_string(flows);
+  if (!fct.empty()) line += " fct_p99=" + format_secs(percentile(fct, 99.0));
+  std::ostringstream util;
+  util.setf(std::ios::fixed);
+  util.precision(3);
+  util << worst;
+  line += " worst_link_util=" + util.str();
+  return line;
+}
+
+// Zips the collected per-point telemetry with the sweep report's point
+// labels into the dump eval/serialize.h defines.
+eval::TelemetryDump build_telemetry_dump(const eval::SweepReport& report,
+                                         std::vector<eval::ScenarioTelemetry>&& telemetry) {
+  eval::TelemetryDump dump;
+  dump.name = report.name;
+  dump.points.resize(telemetry.size());
+  for (std::size_t i = 0; i < telemetry.size(); ++i) {
+    dump.points[i].label =
+        i < report.points.size() ? report.points[i].label : std::to_string(i);
+    dump.points[i].cells = std::move(telemetry[i]);
+  }
+  return dump;
+}
+
 // Writes the trace / metrics dumps for whichever paths were requested.
 void export_observability(const std::string& trace_out, const std::string& metrics_out) {
   if (!trace_out.empty()) {
@@ -187,6 +237,7 @@ int cmd_run(int argc, char** argv) {
   std::string cache_dir;
   std::string trace_out;
   std::string metrics_out;
+  std::string telemetry_out;
   int cache_budget_mb = 0;
   int threads = 0;
   int sim_shards = 0;
@@ -217,6 +268,8 @@ int cmd_run(int argc, char** argv) {
       trace_out = value();
     } else if (arg == "--metrics-out") {
       metrics_out = value();
+    } else if (arg == "--telemetry-out") {
+      telemetry_out = value();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -228,6 +281,11 @@ int cmd_run(int argc, char** argv) {
     }
   }
   if (path.empty()) throw std::invalid_argument("run: missing scenario file");
+  if (!telemetry_out.empty() && !cache_dir.empty()) {
+    throw std::invalid_argument(
+        "--telemetry-out cannot be combined with --cache-dir (a cache hit would "
+        "skip the simulation that records the telemetry)");
+  }
   if (format.empty()) format = out_path.empty() ? "table" : "json";
   // Fail on a bad format before the (possibly long) sweep executes.
   if (format != "table" && format != "csv" && format != "json") {
@@ -263,6 +321,8 @@ int cmd_run(int argc, char** argv) {
   opts.threads = threads;
   opts.store = store.get();
   opts.stats = &stats;
+  std::vector<eval::ScenarioTelemetry> telemetry;
+  if (!telemetry_out.empty()) opts.telemetry = &telemetry;
   // Collection is purely observational (the report is byte-identical either
   // way — gated in tests and CI), so metrics default on whenever the stats
   // line will be shown or a dump was requested.
@@ -273,8 +333,21 @@ int cmd_run(int argc, char** argv) {
   eval::SweepReport report = eval::run_sweep(spec, opts, progress);
   const double wall_secs =  // detlint: ok(stderr [stats] accounting only)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_t0).count();
-  if (!quiet) std::cerr << stats_line(stats, store.get(), wall_secs) << "\n";
+  if (!quiet) {
+    std::string line = stats_line(stats, store.get(), wall_secs);
+    if (opts.telemetry != nullptr) line += telemetry_stats(telemetry);
+    std::cerr << line << "\n";
+  }
   export_observability(trace_out, metrics_out);
+  if (!telemetry_out.empty()) {
+    const eval::TelemetryDump dump = build_telemetry_dump(report, std::move(telemetry));
+    const std::string bytes = eval::telemetry_dump_to_json(dump).dump() + "\n";
+    common::write_file_atomic(fs::path(telemetry_out), bytes);
+    if (!quiet) {
+      std::cerr << "wrote " << bytes.size() << " bytes (telemetry) to " << telemetry_out
+                << "\n";
+    }
+  }
 
   const std::string rendered = render(report, format);
   if (out_path.empty()) {
@@ -330,6 +403,7 @@ int cmd_serve(int argc, char** argv) {
   std::string cache_dir;
   std::string trace_out;
   std::string metrics_out;
+  std::string telemetry_out;
   int cache_budget_mb = 0;
   int threads = 0;
   int poll_ms = 500;
@@ -361,6 +435,8 @@ int cmd_serve(int argc, char** argv) {
       trace_out = value();
     } else if (arg == "--metrics-out") {
       metrics_out = value();
+    } else if (arg == "--telemetry-out") {
+      telemetry_out = value();
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--quiet") {
@@ -370,6 +446,11 @@ int cmd_serve(int argc, char** argv) {
     }
   }
   if (queue_dir.empty()) throw std::invalid_argument("serve: missing --queue DIR");
+  if (!telemetry_out.empty() && !cache_dir.empty()) {
+    throw std::invalid_argument(
+        "--telemetry-out cannot be combined with --cache-dir (a cache hit would "
+        "skip the simulation that records the telemetry)");
+  }
   const fs::path queue(queue_dir);
   fs::create_directories(queue);
   const fs::path reports = out_dir.empty() ? queue / "reports" : fs::path(out_dir);
@@ -403,6 +484,8 @@ int cmd_serve(int argc, char** argv) {
         opts.threads = threads;
         opts.store = store.get();
         opts.stats = &stats;
+        std::vector<eval::ScenarioTelemetry> telemetry;
+        if (!telemetry_out.empty()) opts.telemetry = &telemetry;
         // Per-job accounting: the registry and span buffers restart from
         // zero, so the dumps (rewritten after every job) and the stats line
         // describe exactly this job.
@@ -426,8 +509,19 @@ int cmd_serve(int argc, char** argv) {
         }
         line << " wall=" << format_secs(secs) << " -> " << out.string();
         std::cout << line.str() << "\n" << std::flush;
-        if (!quiet) std::cerr << stats_line(stats, store.get(), secs) << "\n";
+        if (!quiet) {
+          std::string stats_str = stats_line(stats, store.get(), secs);
+          if (opts.telemetry != nullptr) stats_str += telemetry_stats(telemetry);
+          std::cerr << stats_str << "\n";
+        }
         export_observability(trace_out, metrics_out);
+        if (!telemetry_out.empty()) {
+          // Rewritten per job, like the trace/metrics dumps.
+          const eval::TelemetryDump dump =
+              build_telemetry_dump(report, std::move(telemetry));
+          common::write_file_atomic(fs::path(telemetry_out),
+                                    eval::telemetry_dump_to_json(dump).dump() + "\n");
+        }
         move_job(job, queue / "done");
       } catch (const std::exception& e) {
         // One bad scenario must not take the service down: report, park the

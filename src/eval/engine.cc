@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/digest.h"
 #include "common/parallel.h"
+#include "common/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "eval/serialize.h"
@@ -195,7 +196,8 @@ void emit_spec_metric(const Scenario& s, const Cell& cell, Metric m,
 }
 
 std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
-                             const SharedTopology& shared, parallel::WorkBudget* budget) {
+                             const SharedTopology& shared, parallel::WorkBudget* budget,
+                             std::vector<CellTelemetry>* telem) {
   std::vector<Sample> out;
   auto emit = [&](const std::string& metric, int sample, double v) {
     out.push_back({cell.topo, cell.routing, cell.seed, sample, metric, v});
@@ -296,6 +298,44 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
         topology().switches(), s.routings[static_cast<std::size_t>(cell.routing)]);
   }
   routing::PathProvider& routes = shared_routes ? *shared_routes : *local_routes;
+
+  // One packet-sim run per sample k, shared by kPacketSim and kFlowStats
+  // (both read the same run; the RNG forks depend only on the cell indices
+  // and k, so which metric triggers the run cannot change the stream). The
+  // telemetry recorder rides along when some consumer — the kFlowStats
+  // metrics or an EngineOptions::telemetry collector — will read it;
+  // recording is observational, so the WorkloadResult (and thus every
+  // emitted sample) is byte-identical with it on or off.
+  struct SimRun {
+    sim::WorkloadResult res;
+    sim::TelemetryDataset data;
+  };
+  const bool wants_flow_stats = std::any_of(
+      s.metrics.begin(), s.metrics.end(), [](Metric m) { return m == Metric::kFlowStats; });
+  std::vector<std::optional<SimRun>> sim_runs(static_cast<std::size_t>(s.samples_per_seed));
+  auto sim_run = [&](int k) -> const SimRun& {
+    auto& slot = sim_runs[static_cast<std::size_t>(k)];
+    if (!slot) {
+      Rng tr = traffic_rng(cell.seed, cell.topo, k);
+      auto tm = s.traffic.sample(topology().num_servers(), tr);
+      Rng sim_rng = seed_rng.fork(kSimStream +
+                                  static_cast<std::uint64_t>(cell.topo) * 262144 +
+                                  static_cast<std::uint64_t>(cell.routing) * 4096 +
+                                  static_cast<std::uint64_t>(k));
+      slot.emplace();
+      // Like the MCF cells, packet-sim cells lend the batch's idle workers
+      // to their own engine (the sharded event loop when s.sim.shards > 1).
+      if (wants_flow_stats || telem != nullptr) {
+        sim::Telemetry rec(sim::TelemetryConfig{s.sim.telemetry_epoch_ns});
+        slot->res = sim::run_workload(topology(), tm, s.sim, routes, sim_rng, budget, &rec);
+        slot->data = rec.take_dataset();
+      } else {
+        slot->res = sim::run_workload(topology(), tm, s.sim, routes, sim_rng, budget);
+      }
+    }
+    return *slot;
+  };
+
   for (Metric m : s.metrics) {
     if (!metric_needs_routing(m)) continue;
     switch (m) {
@@ -342,24 +382,58 @@ std::vector<Sample> run_cell(const Scenario& s, const Cell& cell,
       }
       case Metric::kPacketSim: {
         for (int k = 0; k < s.samples_per_seed; ++k) {
-          Rng tr = traffic_rng(cell.seed, cell.topo, k);
-          auto tm = s.traffic.sample(topology().num_servers(), tr);
-          Rng sim_rng = seed_rng.fork(kSimStream +
-                                      static_cast<std::uint64_t>(cell.topo) * 262144 +
-                                      static_cast<std::uint64_t>(cell.routing) * 4096 +
-                                      static_cast<std::uint64_t>(k));
-          // Like the MCF cells, packet-sim cells lend the batch's idle
-          // workers to their own engine (the sharded event loop when
-          // s.sim.shards > 1).
-          auto res = sim::run_workload(topology(), tm, s.sim, routes, sim_rng, budget);
+          const sim::WorkloadResult& res = sim_run(k).res;
           emit("sim_goodput", k, res.mean_flow_throughput);
           emit("sim_fairness", k, res.jain_fairness);
           emit("sim_drops", k, static_cast<double>(res.packet_drops));
         }
         break;
       }
+      case Metric::kFlowStats: {
+        for (int k = 0; k < s.samples_per_seed; ++k) {
+          const SimRun& run = sim_run(k);
+          const auto fct = sim::flow_completion_seconds(run.data);
+          emit("fct_p50", k, percentile(fct, 50.0));
+          emit("fct_p99", k, percentile(fct, 99.0));
+          // Per-flow throughput spread — the paper's Figs. 10-12 compare
+          // these flow-by-flow across routings over the *same* matrices
+          // (traffic_rng is routing-independent), so min/percentile gaps
+          // are paired comparisons, not independent draws.
+          emit("flow_tput_min", k, summarize(run.res.per_flow).min);
+          emit("flow_tput_p10", k, percentile(run.res.per_flow, 10.0));
+          emit("flow_tput_p50", k, percentile(run.res.per_flow, 50.0));
+          emit("flow_tput_p90", k, percentile(run.res.per_flow, 90.0));
+          std::int64_t completed = 0;
+          for (const auto& f : run.data.flows) completed += f.completed ? 1 : 0;
+          emit("flows_completed", k, static_cast<double>(completed));
+          std::vector<double> util;
+          util.reserve(run.data.links.size());
+          double hot_drops = 0.0;
+          for (const auto& link : run.data.links) {
+            util.push_back(sim::link_run_utilization(link, run.data.t_end_ns));
+            std::int64_t drops = 0;
+            for (const auto& e : link.epochs) drops += e.drops;
+            hot_drops = std::max(hot_drops, static_cast<double>(drops));
+          }
+          emit("link_util_mean", k, summarize(util).mean);
+          emit("link_util_p99", k, percentile(util, 99.0));
+          emit("link_util_max", k, summarize(util).max);
+          emit("hot_link_drops", k, hot_drops);
+        }
+        break;
+      }
       default:
         break;
+    }
+  }
+  // Hand the full datasets to the batch collector, in ascending sample
+  // order. Runs land here already finalized; untriggered samples (possible
+  // only if neither sim metric was requested) stay absent.
+  if (telem != nullptr) {
+    for (int k = 0; k < s.samples_per_seed; ++k) {
+      auto& slot = sim_runs[static_cast<std::size_t>(k)];
+      if (!slot) continue;
+      telem->push_back({cell.topo, cell.routing, cell.seed, k, std::move(slot->data)});
     }
   }
   return out;
@@ -376,6 +450,9 @@ struct PreparedScenario {
   std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> query_pairs;
   std::vector<std::pair<int, int>> warm_jobs;  // (topology, routing)
   std::vector<std::vector<Sample>> results;
+  // Per-cell telemetry slots (parallel to `results`; filled only when the
+  // batch has a collector), concatenated in canonical cell order on return.
+  std::vector<std::vector<CellTelemetry>> cell_telemetry;
   int cells_left = 0;   // guarded by the batch completion mutex
   bool done = false;    // report assembled + ready to emit
 };
@@ -463,8 +540,10 @@ void prepare_shared(PreparedScenario& p, bool share_path_cache) {
       std::any_of(s.metrics.begin(), s.metrics.end(), [](Metric m) {
         return m == Metric::kRoutedThroughput || m == Metric::kLinkDiversity;
       });
-  const bool wants_sim = std::any_of(s.metrics.begin(), s.metrics.end(),
-                                     [](Metric m) { return m == Metric::kPacketSim; });
+  const bool wants_sim =
+      std::any_of(s.metrics.begin(), s.metrics.end(), [](Metric m) {
+        return m == Metric::kPacketSim || m == Metric::kFlowStats;
+      });
 
   for (int t = 0; t < static_cast<int>(s.topologies.size()); ++t) {
     const auto& spec = s.topologies[static_cast<std::size_t>(t)];
@@ -659,6 +738,11 @@ std::vector<Report> Engine::run_batch(
   // Validate everything up front so a malformed later scenario cannot abort
   // a batch that already spent hours on earlier ones.
   for (const Scenario& s : scenarios) validate_scenario(s);
+  // A store hit skips the simulation that produces the telemetry dataset,
+  // and stored samples carry no telemetry to splice — refuse the
+  // combination instead of returning a silently incomplete collection.
+  check(!(opts_.store != nullptr && opts_.telemetry != nullptr),
+        "Engine::run_batch: telemetry collection is incompatible with the result store");
 
   std::vector<PreparedScenario> runs(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -666,6 +750,7 @@ std::vector<Report> Engine::run_batch(
     p.s = &scenarios[i];
     p.cells = build_cells(*p.s);
     p.results.resize(p.cells.size());
+    p.cell_telemetry.resize(p.cells.size());
     p.cells_left = static_cast<int>(p.cells.size());
     prepare_shared(p, opts_.share_path_cache);
   }
@@ -759,6 +844,9 @@ std::vector<Report> Engine::run_batch(
     auto& p = runs[ref.run];
     const Cell& cell = p.cells[static_cast<std::size_t>(ref.cell)];
     auto& slot = p.results[static_cast<std::size_t>(ref.cell)];
+    auto* telem_slot = opts_.telemetry != nullptr
+                           ? &p.cell_telemetry[static_cast<std::size_t>(ref.cell)]
+                           : nullptr;
     obs::Span cell_span("engine.cell", "engine");
     cell_span.arg("topo", cell.topo);
     cell_span.arg("routing", cell.routing);
@@ -780,8 +868,8 @@ std::vector<Report> Engine::run_batch(
       } else {
         {
           obs::ScopedTimer solve_timer(obs_solve_ns);
-          slot =
-              run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+          slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget,
+                          telem_slot);
         }
         solved_count.fetch_add(1, std::memory_order_relaxed);
         obs::ScopedTimer save_timer(obs_store_save_ns);
@@ -789,15 +877,21 @@ std::vector<Report> Engine::run_batch(
       }
     } else {
       obs::ScopedTimer solve_timer(obs_solve_ns);
-      slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget);
+      slot = run_cell(*p.s, cell, p.shared[static_cast<std::size_t>(cell.topo)], &budget,
+                      telem_slot);
       solved_count.fetch_add(1, std::memory_order_relaxed);
     }
     // Splice into every duplicate cell's slot. No lock needed: each
     // follower slot is written exactly once, by this leader, before any
-    // counter below can reach zero.
+    // counter below can reach zero. Key equality implies identical cell
+    // indices and seed, so the leader's telemetry applies verbatim.
     for (const CellRef& f : followers[static_cast<std::size_t>(i)]) {
       runs[f.run].results[static_cast<std::size_t>(f.cell)] =
           p.results[static_cast<std::size_t>(ref.cell)];
+      if (opts_.telemetry != nullptr) {
+        runs[f.run].cell_telemetry[static_cast<std::size_t>(f.cell)] =
+            p.cell_telemetry[static_cast<std::size_t>(ref.cell)];
+      }
     }
 
     std::unique_lock<std::mutex> lock(done_mu);
@@ -824,6 +918,18 @@ std::vector<Report> Engine::run_batch(
     }
   });
   if (obs_on) obs_cells_ns.record(obs::monotonic_ns() - phase_cells_t0);
+  // Assemble the telemetry collection in canonical cell order — the same
+  // order the Report's samples use — so the dump is byte-identical at any
+  // thread count.
+  if (opts_.telemetry != nullptr) {
+    opts_.telemetry->assign(scenarios.size(), ScenarioTelemetry{});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      auto& dest = (*opts_.telemetry)[i].cells;
+      for (auto& per_cell : runs[i].cell_telemetry) {
+        for (auto& c : per_cell) dest.push_back(std::move(c));
+      }
+    }
+  }
   // Persist the store's index eagerly: the entries themselves are already
   // durable (atomic per-cell writes), this just saves their LRU order.
   if (opts_.store != nullptr) opts_.store->flush();

@@ -27,6 +27,7 @@
 #include "eval/report.h"
 #include "eval/scenario.h"
 #include "graph/algorithms.h"
+#include "sim/telemetry.h"
 #include "sim/workload.h"
 #include "topo/topology.h"
 
@@ -45,6 +46,24 @@ struct BatchStats {
   int solved = 0;      // cells actually executed by the measurement kernels
   int memo_hits = 0;   // duplicate slots spliced from an in-batch leader cell
   int store_hits = 0;  // leader cells loaded from the persistent result store
+};
+
+// Full telemetry dataset of one simulated cell run: the packet sim for
+// (topology, routing, seed) at parallel-connection/subflow count `k`.
+// Engine::run emits one per simulated run, in canonical cell order (the
+// Report's sample order), when EngineOptions::telemetry is set.
+struct CellTelemetry {
+  int topology = 0;
+  int routing = 0;
+  std::uint64_t seed = 0;
+  int sample = 0;  // the cell's k index (parallel connection / subflow count)
+  sim::TelemetryDataset data;
+};
+
+// Every simulated cell of one scenario, ordered canonically — byte-identical
+// at any thread count or shard count, exactly like the Report itself.
+struct ScenarioTelemetry {
+  std::vector<CellTelemetry> cells;
 };
 
 struct EngineOptions {
@@ -79,6 +98,14 @@ struct EngineOptions {
   store::ResultStore* store = nullptr;
   // When non-null, overwritten with this batch's accounting on return.
   BatchStats* stats = nullptr;
+  // Telemetry collector (not owned; may be null = off). When set, run /
+  // run_batch resize it to one ScenarioTelemetry per scenario and fill each
+  // with the full per-flow / per-link dataset of every simulated cell, in
+  // canonical cell order. Recording is purely observational — the Report is
+  // byte-identical with the collector on or off — but it is incompatible
+  // with the persistent store (a store hit would skip the simulation that
+  // produces the dataset), so run_batch refuses store + telemetry together.
+  std::vector<ScenarioTelemetry>* telemetry = nullptr;
 };
 
 class Engine {

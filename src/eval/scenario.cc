@@ -22,6 +22,7 @@ bool metric_needs_routing(Metric m) {
     case Metric::kRoutedThroughput:
     case Metric::kLinkDiversity:
     case Metric::kPacketSim:
+    case Metric::kFlowStats:
       return true;
     case Metric::kPathStats:
     case Metric::kServerCdf:
@@ -69,6 +70,8 @@ std::string metric_name(Metric m) {
       return "link_diversity";
     case Metric::kPacketSim:
       return "packet_sim";
+    case Metric::kFlowStats:
+      return "flow_stats";
     case Metric::kCabling:
       return "cabling";
     case Metric::kMinPorts:
@@ -101,6 +104,8 @@ std::string metric_description(Metric m) {
       return "paths-per-link distribution, div_* (Fig. 9)";
     case Metric::kPacketSim:
       return "packet-level sim_goodput/sim_fairness/sim_drops";
+    case Metric::kFlowStats:
+      return "per-flow telemetry: fct_p50/p99, flow_tput_*, link_util_* (Figs. 10-12)";
     case Metric::kCabling:
       return "cable counts, lengths, and material cost via layout (§6)";
     case Metric::kMinPorts:
@@ -129,9 +134,9 @@ const std::vector<Metric>& all_metrics() {
   static const std::vector<Metric> all = {
       Metric::kPathStats,   Metric::kServerCdf,     Metric::kThroughput,
       Metric::kBisection,   Metric::kRoutedThroughput, Metric::kLinkDiversity,
-      Metric::kPacketSim,   Metric::kCabling,       Metric::kMinPorts,
-      Metric::kCapacity,    Metric::kExpansionCost, Metric::kRewiredCables,
-      Metric::kExpansionBisection,
+      Metric::kPacketSim,   Metric::kFlowStats,     Metric::kCabling,
+      Metric::kMinPorts,    Metric::kCapacity,      Metric::kExpansionCost,
+      Metric::kRewiredCables, Metric::kExpansionBisection,
   };
   return all;
 }

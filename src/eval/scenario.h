@@ -102,6 +102,7 @@ enum class Metric {
   kRoutedThroughput,  // fluid MCF restricted to the scheme's path sets
   kLinkDiversity,     // div_frac_le2, div_mean, div_p50, div_p90, div_max
   kPacketSim,         // sim_goodput, sim_fairness, sim_drops
+  kFlowStats,         // per-flow telemetry: fct_p50/p99, flow_tput_*, link_util_*
   kCabling,           // §6 cable counts/lengths/costs via layout/cabling
   kMinPorts,          // Fig. 2(b): min total ports at full bisection (analytic)
   kCapacity,          // Fig. 2(c): max servers at full capacity (search)

@@ -303,6 +303,8 @@ Value sim_to_json(const sim::WorkloadConfig& w) {
   o.emplace_back("warmup_ns", w.warmup_ns);
   o.emplace_back("measure_ns", w.measure_ns);
   o.emplace_back("start_jitter_ns", w.start_jitter_ns);
+  o.emplace_back("flow_size_bytes", w.flow_size_bytes);
+  o.emplace_back("telemetry_epoch_ns", w.telemetry_epoch_ns);
   o.emplace_back("net", sim_net_to_json(w.sim));
   return Value(std::move(o));
 }
@@ -319,6 +321,8 @@ sim::WorkloadConfig sim_from_json(const Value& v, const std::string& ctx) {
   r.read("warmup_ns", w.warmup_ns);
   r.read("measure_ns", w.measure_ns);
   r.read("start_jitter_ns", w.start_jitter_ns);
+  r.read("flow_size_bytes", w.flow_size_bytes);
+  r.read("telemetry_epoch_ns", w.telemetry_epoch_ns);
   if (const Value* net = r.get("net")) w.sim = sim_net_from_json(*net, ctx + ".net");
   r.done();
   return w;
@@ -769,6 +773,184 @@ Value sweep_report_to_json(const SweepReport& r) {
   }
   o.emplace_back("points", Value(std::move(points)));
   return Value(std::move(o));
+}
+
+namespace {
+
+Value telemetry_cell_to_json(const CellTelemetry& c) {
+  Object o;
+  o.emplace_back("topology", c.topology);
+  o.emplace_back("routing", c.routing);
+  o.emplace_back("seed", c.seed);
+  o.emplace_back("sample", c.sample);
+  o.emplace_back("epoch_ns", c.data.epoch_ns);
+  o.emplace_back("t_end_ns", c.data.t_end_ns);
+  Array flows;
+  for (const auto& f : c.data.flows) {
+    Array row;
+    row.emplace_back(f.src_server);
+    row.emplace_back(f.dst_server);
+    row.emplace_back(f.start_ns);
+    row.emplace_back(f.finish_ns);
+    row.emplace_back(f.completed ? 1 : 0);
+    row.emplace_back(f.bytes_acked);
+    row.emplace_back(f.packets_sent);
+    row.emplace_back(f.retransmits);
+    row.emplace_back(f.timeouts);
+    row.emplace_back(f.path_drops);
+    row.emplace_back(f.hop_count);
+    flows.emplace_back(Value(std::move(row)));
+  }
+  o.emplace_back("flows", Value(std::move(flows)));
+  Array links;
+  for (const auto& l : c.data.links) {
+    Object lo;
+    lo.emplace_back("rate_bps", l.rate_bps);
+    Array epochs;
+    for (const auto& e : l.epochs) {
+      Array row;
+      row.emplace_back(e.tx_packets);
+      row.emplace_back(e.tx_bytes);
+      row.emplace_back(e.drops);
+      row.emplace_back(e.utilization);
+      for (std::int64_t h : e.queue_hist) row.emplace_back(h);
+      epochs.emplace_back(Value(std::move(row)));
+    }
+    lo.emplace_back("epochs", Value(std::move(epochs)));
+    links.emplace_back(Value(std::move(lo)));
+  }
+  o.emplace_back("links", Value(std::move(links)));
+  return Value(std::move(o));
+}
+
+CellTelemetry telemetry_cell_from_json(const Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  CellTelemetry c;
+  r.read("topology", c.topology);
+  r.read("routing", c.routing);
+  if (const Value* s = r.get("seed")) {
+    c.seed = with_ctx(ctx + ".seed", [&] { return s->as_uint(); });
+  }
+  r.read("sample", c.sample);
+  r.read("epoch_ns", c.data.epoch_ns);
+  r.read("t_end_ns", c.data.t_end_ns);
+  if (const Value* flows = r.get("flows")) {
+    c.data.flows = with_ctx(ctx + ".flows", [&] {
+      std::vector<sim::FlowRecord> out;
+      for (const auto& row_v : flows->as_array()) {
+        const Array& row = row_v.as_array();
+        if (row.size() != 11) throw std::runtime_error("json: flow rows have 11 entries");
+        sim::FlowRecord f;
+        f.src_server = static_cast<int>(row[0].as_int());
+        f.dst_server = static_cast<int>(row[1].as_int());
+        f.start_ns = row[2].as_int();
+        f.finish_ns = row[3].as_int();
+        f.completed = row[4].as_int() != 0;
+        f.bytes_acked = row[5].as_int();
+        f.packets_sent = row[6].as_int();
+        f.retransmits = row[7].as_int();
+        f.timeouts = row[8].as_int();
+        f.path_drops = row[9].as_int();
+        f.hop_count = static_cast<int>(row[10].as_int());
+        out.push_back(f);
+      }
+      return out;
+    });
+  }
+  if (const Value* links = r.get("links")) {
+    const Array& arr =
+        with_ctx(ctx + ".links", [&]() -> const Array& { return links->as_array(); });
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      const std::string lctx = ctx + ".links[" + std::to_string(i) + "]";
+      ObjectReader lr(arr[i], lctx);
+      sim::LinkSeries series;
+      lr.read("rate_bps", series.rate_bps);
+      if (const Value* epochs = lr.get("epochs")) {
+        series.epochs = with_ctx(lctx + ".epochs", [&] {
+          std::vector<sim::LinkEpoch> out;
+          for (const auto& row_v : epochs->as_array()) {
+            const Array& row = row_v.as_array();
+            if (row.size() != 4 + sim::kQueueDepthBuckets) {
+              throw std::runtime_error("json: epoch rows have " +
+                                       std::to_string(4 + sim::kQueueDepthBuckets) +
+                                       " entries");
+            }
+            sim::LinkEpoch e;
+            e.tx_packets = row[0].as_int();
+            e.tx_bytes = row[1].as_int();
+            e.drops = row[2].as_int();
+            e.utilization = row[3].as_number();
+            for (int b = 0; b < sim::kQueueDepthBuckets; ++b) {
+              e.queue_hist[static_cast<std::size_t>(b)] =
+                  row[static_cast<std::size_t>(4 + b)].as_int();
+            }
+            out.push_back(e);
+          }
+          return out;
+        });
+      }
+      lr.done();
+      c.data.links.push_back(std::move(series));
+    }
+  }
+  r.done();
+  return c;
+}
+
+}  // namespace
+
+Value telemetry_dump_to_json(const TelemetryDump& d) {
+  Object o;
+  o.emplace_back("schema_version", kTelemetrySchemaVersion);
+  o.emplace_back("name", d.name);
+  Array points;
+  for (const auto& p : d.points) {
+    Object po;
+    po.emplace_back("label", p.label);
+    Array cells;
+    for (const auto& c : p.cells.cells) cells.emplace_back(telemetry_cell_to_json(c));
+    po.emplace_back("cells", Value(std::move(cells)));
+    points.emplace_back(Value(std::move(po)));
+  }
+  o.emplace_back("points", Value(std::move(points)));
+  return Value(std::move(o));
+}
+
+TelemetryDump telemetry_dump_from_json(const Value& v) {
+  const std::string ctx = "telemetry";
+  ObjectReader r(v, ctx);
+  TelemetryDump out;
+  int schema_version = kTelemetrySchemaVersion;
+  r.read("schema_version", schema_version);
+  if (schema_version != kTelemetrySchemaVersion) {
+    schema_error(ctx + ".schema_version",
+                 "unsupported schema_version " + std::to_string(schema_version) +
+                     " (this build reads version " +
+                     std::to_string(kTelemetrySchemaVersion) + ")");
+  }
+  r.read("name", out.name);
+  if (const Value* points = r.get("points")) {
+    const Array& arr =
+        with_ctx(ctx + ".points", [&]() -> const Array& { return points->as_array(); });
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      const std::string pctx = ctx + ".points[" + std::to_string(i) + "]";
+      ObjectReader pr(arr[i], pctx);
+      TelemetryPoint p;
+      pr.read("label", p.label);
+      if (const Value* cells = pr.get("cells")) {
+        const Array& carr =
+            with_ctx(pctx + ".cells", [&]() -> const Array& { return cells->as_array(); });
+        for (std::size_t j = 0; j < carr.size(); ++j) {
+          p.cells.cells.push_back(telemetry_cell_from_json(
+              carr[j], pctx + ".cells[" + std::to_string(j) + "]"));
+        }
+      }
+      pr.done();
+      out.points.push_back(std::move(p));
+    }
+  }
+  r.done();
+  return out;
 }
 
 SweepReport sweep_report_from_json(const Value& v) {

@@ -27,8 +27,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/json.h"
+#include "eval/engine.h"
 #include "eval/report.h"
 #include "eval/scenario.h"
 #include "eval/sweep.h"
@@ -75,5 +77,36 @@ std::vector<Sample> samples_from_json(const json::Value& v);
 //                      "report": {...}}]}
 json::Value sweep_report_to_json(const SweepReport& r);
 SweepReport sweep_report_from_json(const json::Value& v);
+
+// --- Telemetry dumps (jf_eval run --telemetry-out) ---
+
+// Version of the telemetry dump format, independent of the report schema.
+// Bump on any change to the dump's shape or field semantics; loads reject
+// mismatches.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+// One sweep point's telemetry (a plain run is a single point labeled with
+// the scenario name).
+struct TelemetryPoint {
+  std::string label;
+  ScenarioTelemetry cells;
+};
+
+struct TelemetryDump {
+  std::string name;
+  std::vector<TelemetryPoint> points;
+};
+
+// {"schema_version", "name", "points": [{"label", "cells": [{"topology",
+//  "routing", "seed", "sample", "epoch_ns", "t_end_ns",
+//  "flows": [[src, dst, start_ns, finish_ns, completed, bytes_acked,
+//             packets_sent, retransmits, timeouts, path_drops, hop_count],
+//            ...],
+//  "links": [{"rate_bps", "epochs": [[tx_packets, tx_bytes, drops,
+//             utilization, hist0..hist7], ...]}, ...]}]}]}
+// Strict round trip: unknown keys error, numbers use shortest-round-trip
+// formatting, and write -> load -> write is byte-identical.
+json::Value telemetry_dump_to_json(const TelemetryDump& d);
+TelemetryDump telemetry_dump_from_json(const json::Value& v);
 
 }  // namespace jf::eval

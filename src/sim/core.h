@@ -107,6 +107,11 @@ struct Subflow {
   std::int64_t packets_sent = 0;
   std::int64_t retransmits = 0;
   std::int64_t timeouts = 0;
+  // Packets this subflow may originate: -1 = unlimited (backlogged flow),
+  // otherwise try_send stops offering new sequences at this bound. Set via
+  // the engines' set_flow_size(), which splits a sized flow's packet total
+  // across its subflows.
+  std::int32_t limit_pkts = -1;
   // Emission counter behind this subflow's event-order keys (see EventOrder).
   std::uint64_t order_seq = 0;
 
@@ -124,6 +129,10 @@ struct Flow {
   std::vector<Subflow> subflows;
   std::int64_t delivered_bytes_measured = 0;  // in-order payload in the window
   std::int64_t delivered_bytes_total = 0;
+  // Transfer size in bytes; 0 = backlogged (sends for the whole run). Sized
+  // flows stop sending once every subflow reaches its limit_pkts, which is
+  // when the transport reports completion to the telemetry layer.
+  std::int64_t size_bytes = 0;
 };
 
 // One directed link: fixed rate, propagation delay, drop-tail queue.
@@ -263,6 +272,28 @@ inline Subflow make_subflow(const std::vector<Link>& links, const SimConfig& cfg
   sf.cwnd = cfg.initial_cwnd_pkts;
   sf.rto_ns = cfg.initial_rto_ns;
   return sf;
+}
+
+// Sizes a flow: `bytes` of payload become ceil(bytes / payload) packets,
+// split as evenly as possible across the flow's subflows (earlier subflows
+// absorb the remainder). bytes == 0 restores the backlogged default. Shared
+// by both engines' set_flow_size so sized runs can never diverge.
+inline void set_flow_size_of(const SimConfig& cfg, Flow& f, std::int64_t bytes) {
+  check(bytes >= 0, "set_flow_size: negative size");
+  check(!f.subflows.empty(), "set_flow_size: flow has no subflows");
+  f.size_bytes = bytes;
+  if (bytes == 0) {
+    for (Subflow& sf : f.subflows) sf.limit_pkts = -1;
+    return;
+  }
+  const auto total_pkts = (bytes + cfg.payload_bytes - 1) / cfg.payload_bytes;
+  const auto n = static_cast<std::int64_t>(f.subflows.size());
+  const std::int64_t base = total_pkts / n;
+  const std::int64_t rem = total_pkts % n;
+  for (std::int64_t s = 0; s < n; ++s) {
+    f.subflows[static_cast<std::size_t>(s)].limit_pkts =
+        static_cast<std::int32_t>(base + (s < rem ? 1 : 0));
+  }
 }
 
 inline std::int64_t total_link_drops(const std::vector<Link>& links) {

@@ -6,6 +6,7 @@
 // the state. An engine provides:
 //
 //   links_, flows_, cfg_, now_, measure_start_, measure_end_   (state)
+//   telemetry_                    Telemetry* (may be null); purely observed
 //   schedule_self(Event&&)        kLinkDone; the emitting link's own queue
 //   dispatch_arrival(Event&&)     kArrive; routed by the packet's next hop
 //   dispatch_loss(Event&&)        kLossNotify; routed to the sender endpoint
@@ -24,6 +25,7 @@
 
 #include "common/check.h"
 #include "sim/core.h"
+#include "sim/telemetry.h"
 #include "sim/transport_ops.h"
 
 namespace jf::sim {
@@ -44,6 +46,7 @@ struct EngineOps {
     Link& l = eng.links_[static_cast<std::size_t>(link_id)];
     if (static_cast<int>(l.queue.size()) >= l.queue_capacity) {
       ++l.drops;
+      if (eng.telemetry_) eng.telemetry_->on_drop(link_id, eng.now_);
       if (!pkt.is_ack) {
         const Subflow& sf = eng.flows_[static_cast<std::size_t>(pkt.flow)]
                                 .subflows[static_cast<std::size_t>(pkt.subflow)];
@@ -59,6 +62,9 @@ struct EngineOps {
       return;
     }
     l.queue.push_back(pkt);
+    if (eng.telemetry_) {
+      eng.telemetry_->on_enqueue(link_id, eng.now_, static_cast<int>(l.queue.size()));
+    }
     if (!l.busy) start_transmission(eng, link_id);
   }
 
@@ -99,6 +105,7 @@ struct EngineOps {
         l.queue.pop_front();
         ++l.tx_packets;
         l.tx_bytes += pkt.size_bytes;
+        if (eng.telemetry_) eng.telemetry_->on_transmit(ev.a, eng.now_, pkt.size_bytes);
         // Propagate to the next hop after the wire delay.
         Event arrive;
         arrive.time = eng.now_ + l.delay_ns;

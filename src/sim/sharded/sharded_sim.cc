@@ -111,6 +111,25 @@ void ShardedSimulator::set_measure_window(TimeNs start, TimeNs end) {
   measure_end_ = end;
 }
 
+void ShardedSimulator::set_flow_size(int flow, std::int64_t bytes) {
+  check(!started_, "set_flow_size: simulation already started");
+  check(flow >= 0 && flow < num_flows(), "set_flow_size: bad flow id");
+  set_flow_size_of(cfg_, flows_[static_cast<std::size_t>(flow)], bytes);
+}
+
+void ShardedSimulator::set_telemetry(Telemetry* telemetry) {
+  check(!started_, "set_telemetry: simulation already started");
+  for (Shard& sh : shards_) sh.telemetry_ = telemetry;
+  if (telemetry != nullptr) telemetry->attach(links_.size(), flows_.size());
+}
+
+void ShardedSimulator::finalize_telemetry() {
+  check(!shards_.empty() && shards_.front().telemetry_ != nullptr,
+        "finalize_telemetry: no telemetry attached");
+  // Every shard's clock is exactly t_end after run_until.
+  shards_.front().telemetry_->finalize(cfg_, links_, flows_, shards_.front().now_);
+}
+
 const Flow& ShardedSimulator::flow(int id) const {
   check(id >= 0 && id < num_flows(), "flow: bad id");
   return flows_[static_cast<std::size_t>(id)];

@@ -39,6 +39,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "sim/core.h"
+#include "sim/telemetry.h"
 
 namespace jf::sim {
 template <class Engine>
@@ -87,6 +88,10 @@ class Shard {
   std::vector<Flow>& flows_;
   const TimeNs& measure_start_;
   const TimeNs& measure_end_;
+  // The owner's recorder (null = off), shared by every shard: each slot of
+  // the recorder's tables has exactly one writing shard (the link's owner /
+  // the flow's sender endpoint), mirroring the engine's own discipline.
+  Telemetry* telemetry_ = nullptr;
   TimeNs now_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   // Cross-shard hand-offs staged during a round (dest shard -> events),
@@ -126,6 +131,20 @@ class ShardedSimulator {
                    TimeNs start_time);
 
   void set_measure_window(TimeNs start, TimeNs end);
+
+  // Sizes a flow (same contract as Simulator::set_flow_size).
+  void set_flow_size(int flow, std::int64_t bytes);
+
+  // Attaches a telemetry recorder to every shard (may be null to detach;
+  // not owned). Same contract as Simulator::set_telemetry — and because the
+  // hooks never create events or advance emission counters, the recording
+  // (and the run) is byte-identical to the serial engine's at any shard or
+  // worker count.
+  void set_telemetry(Telemetry* telemetry);
+
+  // Finalizes the attached recorder at the run's end time. Call exactly
+  // once, after run_until.
+  void finalize_telemetry();
 
   // Advances to t_end in conservative-lookahead rounds; shards run in
   // parallel on workers borrowed from `budget` (may be null: the calling

@@ -41,6 +41,23 @@ void Simulator::set_measure_window(TimeNs start, TimeNs end) {
   measure_end_ = end;
 }
 
+void Simulator::set_flow_size(int flow, std::int64_t bytes) {
+  check(!started_, "set_flow_size: simulation already started");
+  check(flow >= 0 && flow < num_flows(), "set_flow_size: bad flow id");
+  set_flow_size_of(cfg_, flows_[static_cast<std::size_t>(flow)], bytes);
+}
+
+void Simulator::set_telemetry(Telemetry* telemetry) {
+  check(!started_, "set_telemetry: simulation already started");
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) telemetry_->attach(links_.size(), flows_.size());
+}
+
+void Simulator::finalize_telemetry() {
+  check(telemetry_ != nullptr, "finalize_telemetry: no telemetry attached");
+  telemetry_->finalize(cfg_, links_, flows_, now_);
+}
+
 const Flow& Simulator::flow(int id) const {
   check(id >= 0 && id < num_flows(), "flow: bad id");
   return flows_[static_cast<std::size_t>(id)];

@@ -25,6 +25,7 @@
 
 #include "common/check.h"
 #include "sim/core.h"
+#include "sim/telemetry.h"
 
 namespace jf::sim {
 
@@ -47,6 +48,20 @@ class Simulator {
 
   // In-order payload bytes delivered inside [start, end) count as measured.
   void set_measure_window(TimeNs start, TimeNs end);
+
+  // Sizes a flow (ceil(bytes/payload) packets split across its subflows;
+  // 0 = backlogged). Call after its subflows are attached, before run.
+  void set_flow_size(int flow, std::int64_t bytes);
+
+  // Attaches a telemetry recorder (may be null to detach; not owned). Call
+  // after every link and flow exists, before the first run_until — attach()
+  // pre-sizes the recorder's tables to the current link/flow counts.
+  // Purely observational: results are bit-identical with or without it.
+  void set_telemetry(Telemetry* telemetry);
+
+  // Finalizes the attached recorder against this engine's state at now()
+  // (== t_end after run_until). Call exactly once, after the run.
+  void finalize_telemetry();
 
   // Runs until the event queue drains or simulated time reaches `t_end`.
   void run_until(TimeNs t_end);
@@ -77,6 +92,7 @@ class Simulator {
   SimConfig cfg_;
   std::vector<Link> links_;
   std::vector<Flow> flows_;
+  Telemetry* telemetry_ = nullptr;  // not owned; null = recording off
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   TimeNs now_ = 0;
   TimeNs measure_start_ = 0;

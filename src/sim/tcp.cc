@@ -126,7 +126,9 @@ void TransportOps<Engine>::try_send(Engine& sim, int flow, int subflow) {
   // New data is pipe-gated: segments sent and not cumulatively acked count
   // as in flight (conservative during recovery — out-of-order arrivals are
   // indistinguishable from queued packets without receiver SACK state).
-  while (sf.snd_next - sf.snd_una < window) {
+  // Sized flows additionally stop offering sequences at limit_pkts.
+  while (sf.snd_next - sf.snd_una < window &&
+         (sf.limit_pkts < 0 || sf.snd_next < sf.limit_pkts)) {
     send_data(sim, flow, subflow, sf.snd_next, /*retransmit=*/false);
     ++sf.snd_next;
   }
@@ -185,6 +187,19 @@ void TransportOps<Engine>::on_ack(Engine& sim, const Packet& pkt) {
     }
     arm_timer(sim, pkt.flow, pkt.subflow, /*rearm=*/true);
     try_send(sim, pkt.flow, pkt.subflow);
+    // Completion detection for sized flows: every sender field read here
+    // lives at the flow's source endpoint, so the scan is single-shard safe.
+    // The telemetry hook is idempotent and purely observational.
+    if (sim.telemetry_ && f.size_bytes > 0) {
+      bool done = true;
+      for (const Subflow& s : f.subflows) {
+        if (s.limit_pkts < 0 || s.snd_una < s.limit_pkts) {
+          done = false;
+          break;
+        }
+      }
+      if (done) sim.telemetry_->on_flow_complete(pkt.flow, sim.now_);
+    }
   }
   // Below-frontier (duplicate) ACKs carry no new information under oracle
   // SACK; loss signaling arrives via on_loss instead.
@@ -194,6 +209,10 @@ template <class Engine>
 void TransportOps<Engine>::on_loss(Engine& sim, const Packet& pkt) {
   Flow& f = sim.flows_[static_cast<std::size_t>(pkt.flow)];
   Subflow& sf = f.subflows[static_cast<std::size_t>(pkt.subflow)];
+  // Per-flow drop attribution: every notification corresponds to exactly
+  // one dropped data packet, including "stale" ones whose sequence a later
+  // cumulative ACK already covered — count before the staleness gate.
+  if (sim.telemetry_) sim.telemetry_->on_flow_drop(pkt.flow);
   if (pkt.seq < sf.snd_una) return;  // stale: already cumulatively acked
   sf.lost_out.insert(pkt.seq);
   // One multiplicative decrease per flight of data (recovery episode).

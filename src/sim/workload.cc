@@ -51,7 +51,8 @@ template <class SimT>
 WorkloadResult run_workload_on(SimT& sim, const topo::Topology& topo,
                                const traffic::TrafficMatrix& tm, const WorkloadConfig& cfg,
                                routing::PathProvider& routes, Rng& rng,
-                               const sharded::ShardPlan* plan, parallel::WorkBudget* budget) {
+                               const sharded::ShardPlan* plan, parallel::WorkBudget* budget,
+                               Telemetry* telemetry) {
   const auto& g = topo.switches();
   flow::LinkIndex link_index(g);
   auto shard_of = [&](graph::NodeId sw) {
@@ -148,9 +149,18 @@ WorkloadResult run_workload_on(SimT& sim, const topo::Topology& topo,
     }
   }
 
+  // Sized transfers (after subflow attachment: the packet total is split
+  // across each connection's subflows). A behavioral knob, not a telemetry
+  // one — applied identically whether or not a recorder is attached.
+  if (cfg.flow_size_bytes > 0) {
+    for (const auto& conn : connections) sim.set_flow_size(conn.sim_flow, cfg.flow_size_bytes);
+  }
+
   const TimeNs t_end = cfg.warmup_ns + cfg.measure_ns;
   sim.set_measure_window(cfg.warmup_ns, t_end);
+  if (telemetry != nullptr) sim.set_telemetry(telemetry);
   run_to(sim, t_end, budget);
+  if (telemetry != nullptr) sim.finalize_telemetry();
 
   WorkloadResult result;
   result.per_flow.assign(tm.flows.size(), 0.0);
@@ -173,14 +183,14 @@ WorkloadResult run_workload_on(SimT& sim, const topo::Topology& topo,
 
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, Rng& rng,
-                            parallel::WorkBudget* budget) {
+                            parallel::WorkBudget* budget, Telemetry* telemetry) {
   auto routes = routing::make_path_provider(topo.switches(), cfg.routing);
-  return run_workload(topo, tm, cfg, *routes, rng, budget);
+  return run_workload(topo, tm, cfg, *routes, rng, budget, telemetry);
 }
 
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, routing::PathProvider& routes,
-                            Rng& rng, parallel::WorkBudget* budget) {
+                            Rng& rng, parallel::WorkBudget* budget, Telemetry* telemetry) {
   check(!tm.flows.empty(), "run_workload: empty traffic matrix");
   check(cfg.parallel_connections >= 1 && cfg.subflows >= 1, "run_workload: bad connection counts");
   check(cfg.shards >= 1, "run_workload: shards must be >= 1");
@@ -192,16 +202,17 @@ WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMa
     const sharded::ShardPlan plan =
         sharded::build_shard_plan(topo, cfg.shards, rng.fork(kShardPlanStream));
     sharded::ShardedSimulator sim(cfg.sim, plan.num_shards);
-    return run_workload_on(sim, topo, tm, cfg, routes, rng, &plan, budget);
+    return run_workload_on(sim, topo, tm, cfg, routes, rng, &plan, budget, telemetry);
   }
   Simulator sim(cfg.sim);
-  return run_workload_on(sim, topo, tm, cfg, routes, rng, nullptr, budget);
+  return run_workload_on(sim, topo, tm, cfg, routes, rng, nullptr, budget, telemetry);
 }
 
 WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,
-                                        Rng& rng, parallel::WorkBudget* budget) {
+                                        Rng& rng, parallel::WorkBudget* budget,
+                                        Telemetry* telemetry) {
   auto tm = traffic::random_permutation(topo.num_servers(), rng);
-  return run_workload(topo, tm, cfg, rng, budget);
+  return run_workload(topo, tm, cfg, rng, budget, telemetry);
 }
 
 }  // namespace jf::sim

@@ -45,6 +45,13 @@ struct WorkloadConfig {
   TimeNs warmup_ns = 15 * kMillisecond;   // slow-start convergence
   TimeNs measure_ns = 40 * kMillisecond;
   TimeNs start_jitter_ns = 500 * kMicrosecond;  // desynchronizes flow starts
+  // Transfer size per transport connection (TCP connection / MPTCP flow);
+  // 0 = backlogged for the whole run. Sized flows let telemetry report true
+  // flow completion times instead of observed-time FCTs.
+  std::int64_t flow_size_bytes = 0;
+  // Epoch length of the telemetry layer's per-link series (sim/telemetry.h);
+  // callers constructing their own Telemetry should use this value.
+  TimeNs telemetry_epoch_ns = 5 * kMillisecond;
 };
 
 struct WorkloadResult {
@@ -63,18 +70,24 @@ struct WorkloadResult {
 // Deterministic given (topology, tm, config, rng seed). Routing comes from
 // cfg.routing, resolved through routing::make_path_provider. `budget` (may
 // be null) lends workers to the sharded engine when cfg.shards > 1.
+// `telemetry` (may be null), built with cfg.telemetry_epoch_ns, is attached
+// to the engine for the run and finalized before returning; recording is
+// purely observational — the WorkloadResult is byte-identical either way.
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, Rng& rng,
-                            parallel::WorkBudget* budget = nullptr);
+                            parallel::WorkBudget* budget = nullptr,
+                            Telemetry* telemetry = nullptr);
 
 // Same, but routes every flow through the given provider (cfg.routing is
 // ignored). This is the entry point for custom schemes and jf::eval.
 WorkloadResult run_workload(const topo::Topology& topo, const traffic::TrafficMatrix& tm,
                             const WorkloadConfig& cfg, routing::PathProvider& routes,
-                            Rng& rng, parallel::WorkBudget* budget = nullptr);
+                            Rng& rng, parallel::WorkBudget* budget = nullptr,
+                            Telemetry* telemetry = nullptr);
 
 // Convenience: samples a random server permutation and runs it.
 WorkloadResult run_permutation_workload(const topo::Topology& topo, const WorkloadConfig& cfg,
-                                        Rng& rng, parallel::WorkBudget* budget = nullptr);
+                                        Rng& rng, parallel::WorkBudget* budget = nullptr,
+                                        Telemetry* telemetry = nullptr);
 
 }  // namespace jf::sim
