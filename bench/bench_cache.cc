@@ -1,44 +1,52 @@
 // Result-store warm-up benchmark — the perf record for the persistent
 // content-addressed cell cache.
 //
-// Runs one scenario twice against a fresh cache directory: a cold pass that
-// solves and persists every cell, then a warm pass that must splice every
-// cell from disk (solved == 0, enforced). Emits BENCH_cache.json with both
-// wall times and the resulting speedup, plus the store's size, so the
-// record shows what resumable sweeps actually buy. The two reports are
-// compared for byte-identity — a mismatch is a determinism bug, not a perf
-// number. Run from the repo root:
+// Each repeat runs one scenario twice against a fresh cache directory: a
+// cold pass that solves and persists every cell, then a warm pass that must
+// splice every cell from disk (solved == 0, enforced). The output is a
+// schema-v1 perf record (src/obs/perfrec.h) with a "cold" and a "warm"
+// point — every repeat's wall time plus the engine/store work counters —
+// so the record shows what resumable sweeps actually buy. Reports are
+// compared for byte-identity across passes and repeats — a mismatch is a
+// determinism bug, not a perf number. Run from the repo root:
 //
 //   ./build/bench_cache [--scenario scenarios/fig02a.json] [--threads N]
-//                       [--out BENCH_cache.json]
+//                       [--repeats K] [--git-sha SHA] [--out BENCH_cache.json]
 //
 // The warm pass is pure deserialization, so unlike the scaling benches this
-// record is meaningful even on a 1-core box; hardware_concurrency is still
-// stamped so numbers from different machines are distinguishable.
-#include <chrono>
+// record is meaningful even on a 1-core box; the environment fingerprint
+// still records the core count so numbers from different machines are
+// distinguishable.
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <string>
-#include <thread>
+#include <vector>
 #include <unistd.h>
 
 #include "common/json.h"
+#include "bench_util.h"
 #include "eval/serialize.h"
 #include "eval/sweep.h"
+#include "obs/metrics.h"
+#include "obs/perfrec.h"
 #include "store/result_store.h"
 
 namespace {
 
 using namespace jf;
 
+// The deterministic work block: cell and store traffic, identical on every
+// machine for a fixed scenario (cold: misses + puts; warm: hits).
+const std::vector<std::string> kWorkMetrics = {"engine.cells", "engine.cells_solved",
+                                               "store.hits", "store.misses",
+                                               "store.puts"};
+
 double sweep_seconds(const eval::SweepSpec& spec, const eval::EngineOptions& opts,
                      std::string& report_bytes) {
-  const auto start = std::chrono::steady_clock::now();
+  obs::WallTimer timer;
   eval::SweepReport report = eval::run_sweep(spec, opts);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double secs = timer.seconds();
   report_bytes = eval::sweep_report_to_json(report).dump(2);
   return secs;
 }
@@ -48,7 +56,9 @@ double sweep_seconds(const eval::SweepSpec& spec, const eval::EngineOptions& opt
 int main(int argc, char** argv) {
   std::string scenario_path = JF_SCENARIO_DIR "/fig02a.json";
   std::string out_path = "BENCH_cache.json";
+  std::string git_sha;
   int threads = 0;
+  int repeats = 2;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -62,74 +72,111 @@ int main(int argc, char** argv) {
       scenario_path = value();
     } else if (arg == "--threads") {
       threads = std::atoi(value());
+    } else if (arg == "--repeats") {
+      repeats = std::atoi(value());
+    } else if (arg == "--git-sha") {
+      git_sha = value();
     } else if (arg == "--out") {
       out_path = value();
     } else {
-      std::cerr << "usage: bench_cache [--scenario FILE] [--threads N] [--out FILE]\n";
+      std::cerr << "usage: bench_cache [--scenario FILE] [--threads N] [--repeats K]"
+                   " [--git-sha SHA] [--out FILE]\n";
       return 2;
     }
   }
 
   try {
+    obs::set_metrics_enabled(true);
     const eval::SweepSpec spec = eval::load_sweep_file(scenario_path);
-    const std::filesystem::path cache_root =
-        std::filesystem::temp_directory_path() /
-        ("jf-bench-cache-" + std::to_string(static_cast<unsigned>(::getpid())));
-    std::filesystem::remove_all(cache_root);
-    store::ResultStore store(cache_root);
 
-    eval::BatchStats stats;
-    eval::EngineOptions opts;
-    opts.threads = threads;
-    opts.store = &store;
-    opts.stats = &stats;
+    obs::PerfRecorder rec("cache_warm",
+                          obs::current_fingerprint(bench::resolve_git_sha(git_sha)));
+    rec.set_meta("scenario", json::Value(scenario_path));
+    rec.set_meta("threads", json::Value(threads));
+    rec.set_meta("repeats", json::Value(repeats));
 
-    std::string cold_report;
-    const double cold = sweep_seconds(spec, opts, cold_report);
-    const eval::BatchStats cold_stats = stats;
-    std::cerr << "cold: " << cold << " s  (cells " << cold_stats.cells << ", solved "
-              << cold_stats.solved << ")\n";
+    json::Object cold_params;
+    cold_params.emplace_back("pass", std::string("cold"));
+    obs::PerfPoint& cold_point = rec.add_point("cold", std::move(cold_params));
+    json::Object warm_params;
+    warm_params.emplace_back("pass", std::string("warm"));
+    obs::PerfPoint& warm_point = rec.add_point("warm", std::move(warm_params));
 
-    std::string warm_report;
-    const double warm = sweep_seconds(spec, opts, warm_report);
-    const eval::BatchStats warm_stats = stats;
-    std::cerr << "warm: " << warm << " s  (store_hits " << warm_stats.store_hits
-              << ", solved " << warm_stats.solved << ")\n";
+    std::string reference_report;
+    eval::BatchStats cold_stats;
+    eval::BatchStats warm_stats;
+    std::uint64_t store_bytes = 0;
+    for (int k = 0; k < std::max(1, repeats); ++k) {
+      const std::filesystem::path cache_root =
+          std::filesystem::temp_directory_path() /
+          ("jf-bench-cache-" + std::to_string(static_cast<unsigned>(::getpid())) + "-" +
+           std::to_string(k));
+      std::filesystem::remove_all(cache_root);
+      store::ResultStore store(cache_root);
 
-    const std::uint64_t store_bytes = store.total_bytes();
-    std::filesystem::remove_all(cache_root);
+      eval::BatchStats stats;
+      eval::EngineOptions opts;
+      opts.threads = threads;
+      opts.store = &store;
+      opts.stats = &stats;
 
-    if (warm_report != cold_report) {
-      std::cerr << "bench_cache: warm report differs from cold — determinism bug\n";
-      return 1;
+      std::string cold_report;
+      obs::reset_metrics();
+      const double cold = sweep_seconds(spec, opts, cold_report);
+      auto cold_work = obs::snapshot_work(kWorkMetrics);
+      cold_stats = stats;
+
+      std::string warm_report;
+      obs::reset_metrics();
+      const double warm = sweep_seconds(spec, opts, warm_report);
+      auto warm_work = obs::snapshot_work(kWorkMetrics);
+      warm_stats = stats;
+      store_bytes = store.total_bytes();
+      std::filesystem::remove_all(cache_root);
+
+      if (warm_report != cold_report) {
+        std::cerr << "bench_cache: warm report differs from cold — determinism bug\n";
+        return 1;
+      }
+      if (warm_stats.solved != 0) {
+        std::cerr << "bench_cache: warm pass solved " << warm_stats.solved
+                  << " cells (expected 0) — cache-key instability\n";
+        return 1;
+      }
+      if (k == 0) {
+        reference_report = cold_report;
+        cold_point.work = std::move(cold_work);
+        warm_point.work = std::move(warm_work);
+      } else if (cold_report != reference_report) {
+        std::cerr << "bench_cache: repeat " << k
+                  << " report differs from the first — determinism bug\n";
+        return 1;
+      } else if (cold_work != cold_point.work || warm_work != warm_point.work) {
+        std::cerr << "bench_cache: work counters drifted across repeats — "
+                     "determinism bug\n";
+        return 1;
+      }
+      cold_point.wall_seconds.push_back(cold);
+      warm_point.wall_seconds.push_back(warm);
+      std::cerr << "repeat " << k << ": cold " << cold << " s (cells "
+                << cold_stats.cells << ", solved " << cold_stats.solved << "), warm "
+                << warm << " s (store_hits " << warm_stats.store_hits << ")\n";
     }
-    if (warm_stats.solved != 0) {
-      std::cerr << "bench_cache: warm pass solved " << warm_stats.solved
-                << " cells (expected 0) — cache-key instability\n";
-      return 1;
-    }
 
-    json::Object root;
-    root.emplace_back("benchmark", "cache_warm");
-    root.emplace_back("scenario", scenario_path);
-    root.emplace_back("threads", threads);
-    root.emplace_back("hardware_concurrency",
-                      static_cast<int>(std::thread::hardware_concurrency()));
-    root.emplace_back("cells", cold_stats.cells);
-    root.emplace_back("solved_cold", cold_stats.solved);
-    root.emplace_back("solved_warm", warm_stats.solved);
-    root.emplace_back("store_hits_warm", warm_stats.store_hits);
-    root.emplace_back("store_bytes", static_cast<double>(store_bytes));
-    root.emplace_back("cold_seconds", cold);
-    root.emplace_back("warm_seconds", warm);
-    root.emplace_back("speedup", warm > 0 ? cold / warm : 0.0);
+    const double cold_median =
+        obs::derive_wall_stats(cold_point.wall_seconds).median_seconds;
+    const double warm_median =
+        obs::derive_wall_stats(warm_point.wall_seconds).median_seconds;
+    const double speedup = warm_median > 0 ? cold_median / warm_median : 0.0;
+    std::cerr << "speedup (cold median / warm median): " << speedup << "x\n";
+    cold_point.extra.emplace_back("cells", cold_stats.cells);
+    cold_point.extra.emplace_back("solved", cold_stats.solved);
+    cold_point.extra.emplace_back("store_bytes", static_cast<double>(store_bytes));
+    warm_point.extra.emplace_back("store_hits", warm_stats.store_hits);
+    warm_point.extra.emplace_back("solved", warm_stats.solved);
+    warm_point.extra.emplace_back("speedup_vs_cold", speedup);
 
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) {
-      std::cerr << "bench_cache: cannot write '" << out_path << "'\n";
-      return 1;
-    }
-    out << json::Value(std::move(root)).dump(2) << "\n";
+    rec.write(out_path);
     std::cerr << "wrote " << out_path << "\n";
     return 0;
   } catch (const std::exception& e) {

@@ -4,28 +4,30 @@
 // Solves one large single-point MCF instance (the shape that dominates
 // fig02c-style capacity searches and that cell-level parallelism cannot
 // touch) at several worker-budget sizes, verifies the results are
-// bit-identical, and emits BENCH_mcf.json with per-thread wall times and
-// speedups. Run from the repo root:
+// bit-identical, and emits a schema-v1 perf record (src/obs/perfrec.h) with
+// every repeat's wall time and the solver's deterministic work counters.
+// Run from the repo root:
 //
 //   ./build/bench_mcf_scaling [--switches N] [--degree R] [--repeats K]
-//                             [--out BENCH_mcf.json]
+//                             [--git-sha SHA] [--out BENCH_mcf.json]
 //
-// Speedup is only as real as the machine: hardware_concurrency is recorded
-// alongside the numbers so a 1-core CI box reporting ~1x is distinguishable
-// from a genuine scaling regression on a wide machine.
-#include <algorithm>
-#include <chrono>
+// Wall times are only as real as the machine: the record's environment
+// fingerprint carries the core count and compiler identity, so a 1-core CI
+// box reporting ~1x is distinguishable from a genuine scaling regression on
+// a wide machine. The work counters (mcf.solves/phases/rounds) are exact on
+// any machine — perfwatch gates on them with zero noise.
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <limits>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "flow/mcf.h"
+#include "obs/metrics.h"
+#include "obs/perfrec.h"
 #include "topo/jellyfish.h"
 #include "traffic/traffic.h"
 
@@ -33,16 +35,21 @@ namespace {
 
 using namespace jf;
 
+// The deterministic work block: schedule-independent counters only (never
+// the *_ns timing distributions or parallel.* scheduling counters).
+const std::vector<std::string> kWorkMetrics = {"mcf.solves", "mcf.phases",
+                                               "mcf.rounds"};
+
 double solve_seconds(const graph::Graph& g, const std::vector<traffic::Commodity>& cs,
                      const flow::McfOptions& opts, int threads, flow::McfResult& out) {
-  const auto start = std::chrono::steady_clock::now();
+  obs::WallTimer timer;
   if (threads <= 1) {
     out = flow::max_concurrent_flow(g, cs, opts);
   } else {
     parallel::WorkBudget budget(threads - 1);
     out = flow::max_concurrent_flow(g, cs, opts, &budget);
   }
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return timer.seconds();
 }
 
 }  // namespace
@@ -51,6 +58,7 @@ int main(int argc, char** argv) {
   int switches = 200;
   int degree = 12;
   int repeats = 3;
+  std::string git_sha;
   std::string out_path = "BENCH_mcf.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,16 +75,19 @@ int main(int argc, char** argv) {
       degree = std::atoi(value());
     } else if (arg == "--repeats") {
       repeats = std::atoi(value());
+    } else if (arg == "--git-sha") {
+      git_sha = value();
     } else if (arg == "--out") {
       out_path = value();
     } else {
       std::cerr << "usage: bench_mcf_scaling [--switches N] [--degree R] [--repeats K]"
-                   " [--out FILE]\n";
+                   " [--git-sha SHA] [--out FILE]\n";
       return 2;
     }
   }
 
   try {
+    obs::set_metrics_enabled(true);
     Rng rng(1);
     auto topo = topo::build_jellyfish({.num_switches = switches,
                                        .ports_per_switch = degree + 4,
@@ -90,26 +101,36 @@ int main(int argc, char** argv) {
               << cs.size() << " commodities, " << topo.switches().num_edges()
               << " edges\n";
 
-    json::Object root;
-    root.emplace_back("benchmark", std::string("mcf_scaling"));
-    root.emplace_back("switches", switches);
-    root.emplace_back("network_degree", degree);
-    root.emplace_back("commodities", static_cast<double>(cs.size()));
-    root.emplace_back("repeats", repeats);
-    root.emplace_back("hardware_concurrency", parallel::resolve_threads(0));
+    obs::PerfRecorder rec("mcf_scaling",
+                          obs::current_fingerprint(bench::resolve_git_sha(git_sha)));
+    rec.set_meta("switches", json::Value(switches));
+    rec.set_meta("network_degree", json::Value(degree));
+    rec.set_meta("commodities", json::Value(static_cast<std::int64_t>(cs.size())));
+    rec.set_meta("repeats", json::Value(repeats));
 
     flow::McfResult reference;
-    double serial_best = 0.0;
-    json::Array solves;
+    double serial_median = 0.0;
     for (int threads : {1, 2, 4, 8}) {
+      json::Object params;
+      params.emplace_back("threads", threads);
+      obs::PerfPoint& point =
+          rec.add_point("threads=" + std::to_string(threads), std::move(params));
       flow::McfResult res;
-      double best = std::numeric_limits<double>::infinity();
       for (int k = 0; k < std::max(1, repeats); ++k) {
-        best = std::min(best, solve_seconds(topo.switches(), cs, opts, threads, res));
+        obs::reset_metrics();
+        point.wall_seconds.push_back(solve_seconds(topo.switches(), cs, opts, threads, res));
+        auto work = obs::snapshot_work(kWorkMetrics);
+        if (k == 0) {
+          point.work = std::move(work);
+        } else if (work != point.work) {
+          std::cerr << "bench_mcf_scaling: work counters drifted across repeats at "
+                    << threads << " threads — determinism bug\n";
+          return 1;
+        }
       }
       if (threads == 1) {
         reference = res;
-        serial_best = best;
+        serial_median = obs::derive_wall_stats(point.wall_seconds).median_seconds;
       } else if (res.lambda != reference.lambda ||
                  res.lambda_upper != reference.lambda_upper ||
                  res.phases != reference.phases) {
@@ -117,26 +138,19 @@ int main(int argc, char** argv) {
                   << " threads — determinism bug\n";
         return 1;
       }
-      const double speedup = best > 0 ? serial_best / best : 0.0;
-      std::cerr << "threads " << threads << ": " << best << " s  (speedup " << speedup
+      const obs::WallStats ws = obs::derive_wall_stats(point.wall_seconds);
+      const double speedup =
+          ws.median_seconds > 0 ? serial_median / ws.median_seconds : 0.0;
+      std::cerr << "threads " << threads << ": median " << ws.median_seconds
+                << " s, min " << ws.min_seconds << " s  (speedup " << speedup
                 << "x, lambda " << res.lambda << ", " << res.phases << " phases)\n";
-      json::Object solve;
-      solve.emplace_back("threads", threads);
-      solve.emplace_back("best_seconds", best);
-      solve.emplace_back("speedup_vs_serial", speedup);
-      solve.emplace_back("lambda", res.lambda);
-      solve.emplace_back("lambda_upper", res.lambda_upper);
-      solve.emplace_back("phases", res.phases);
-      solves.emplace_back(json::Value(std::move(solve)));
+      point.extra.emplace_back("speedup_vs_serial", speedup);
+      point.extra.emplace_back("lambda", res.lambda);
+      point.extra.emplace_back("lambda_upper", res.lambda_upper);
+      point.extra.emplace_back("phases", res.phases);
     }
-    root.emplace_back("solves", json::Value(std::move(solves)));
 
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) {
-      std::cerr << "bench_mcf_scaling: cannot write '" << out_path << "'\n";
-      return 1;
-    }
-    out << json::Value(std::move(root)).dump(2) << "\n";
+    rec.write(out_path);
     std::cerr << "wrote " << out_path << "\n";
     return 0;
   } catch (const std::exception& e) {

@@ -6,25 +6,31 @@
 // on the sharded engine at several (shards, threads) points. Every run's
 // per-flow goodput, drop count, and retransmit count must be byte-identical
 // to the serial reference — the benchmark doubles as a determinism check —
-// and BENCH_sim.json records the wall times. Run from the repo root:
+// and the output is a schema-v1 perf record (src/obs/perfrec.h) with every
+// repeat's wall time and the engine's deterministic work counters. Run from
+// the repo root:
 //
 //   ./build/bench_sim_scaling [--switches N] [--degree R] [--ports K]
-//                             [--measure-ms M] [--repeats K] [--out BENCH_sim.json]
+//                             [--measure-ms M] [--repeats K] [--git-sha SHA]
+//                             [--out BENCH_sim.json]
 //
-// Speedup is only as real as the machine: hardware_concurrency is recorded
-// alongside the numbers so a 1-core CI box reporting ~1x is distinguishable
-// from a genuine scaling regression on a wide machine.
-#include <chrono>
+// Telemetry overhead is measured from *paired* repeats: repeat k with the
+// recorder attached against repeat k without, reported as the median and
+// MAD of the per-pair ratios. A single best-of-on vs best-of-off quotient
+// is noise when the gap is small — an unlucky off-sample once reported a
+// negative overhead — whereas the pair spread makes the noise floor
+// explicit in the record.
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <limits>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/perfrec.h"
 #include "sim/telemetry.h"
 #include "sim/workload.h"
 #include "topo/jellyfish.h"
@@ -33,6 +39,12 @@
 namespace {
 
 using namespace jf;
+
+// The deterministic work block: schedule-independent counters only. The
+// serial engine (shards=1) records none of these — snapshot_work pins the
+// absent names to zero so the key set stays stable across engine paths.
+const std::vector<std::string> kWorkMetrics = {"sim.runs", "sim.rounds", "sim.events",
+                                               "sim.handoffs"};
 
 bool same_result(const sim::WorkloadResult& a, const sim::WorkloadResult& b) {
   return a.per_flow == b.per_flow && a.per_server == b.per_server &&
@@ -47,6 +59,7 @@ int main(int argc, char** argv) {
   int ports = 12;
   int measure_ms = 20;
   int repeats = 2;
+  std::string git_sha;
   std::string out_path = "BENCH_sim.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,16 +80,19 @@ int main(int argc, char** argv) {
       measure_ms = std::atoi(value());
     } else if (arg == "--repeats") {
       repeats = std::atoi(value());
+    } else if (arg == "--git-sha") {
+      git_sha = value();
     } else if (arg == "--out") {
       out_path = value();
     } else {
       std::cerr << "usage: bench_sim_scaling [--switches N] [--degree R] [--ports K]"
-                   " [--measure-ms M] [--repeats K] [--out FILE]\n";
+                   " [--measure-ms M] [--repeats K] [--git-sha SHA] [--out FILE]\n";
       return 2;
     }
   }
 
   try {
+    obs::set_metrics_enabled(true);
     constexpr std::uint64_t kSeed = 1;
     Rng build_rng(kSeed);
     auto topo = topo::build_jellyfish(
@@ -100,36 +116,39 @@ int main(int argc, char** argv) {
       sim::WorkloadConfig c = cfg;
       c.shards = shards;
       Rng rng(kSeed + 100);
-      const auto start = std::chrono::steady_clock::now();
+      obs::WallTimer timer;
       if (threads <= 1) {
         out = sim::run_workload(topo, tm, c, *routes, rng, nullptr, rec);
       } else {
         parallel::WorkBudget budget(threads - 1);
         out = sim::run_workload(topo, tm, c, *routes, rng, &budget, rec);
       }
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      return timer.seconds();
     };
 
     std::cerr << "instance: " << switches << " switches, degree " << degree << ", "
               << topo.num_servers() << " servers, " << tm.flows.size() << " flows, "
               << cfg.measure_ns / sim::kMillisecond << " ms measured\n";
 
+    obs::PerfRecorder record("sim_scaling",
+                             obs::current_fingerprint(bench::resolve_git_sha(git_sha)));
+    record.set_meta("switches", json::Value(switches));
+    record.set_meta("network_degree", json::Value(degree));
+    record.set_meta("ports", json::Value(ports));
+    record.set_meta("servers", json::Value(topo.num_servers()));
+    record.set_meta("flows", json::Value(static_cast<std::int64_t>(tm.flows.size())));
+    record.set_meta("measure_ms", json::Value(measure_ms));
+    record.set_meta("repeats", json::Value(repeats));
+
+    // Serial warm-up run: the byte-identity reference for every later run,
+    // and it fully warms the shared path provider.
     sim::WorkloadResult reference;
-    double serial_best = std::numeric_limits<double>::infinity();
-    for (int k = 0; k < std::max(1, repeats); ++k) {
-      sim::WorkloadResult res;
-      serial_best = std::min(serial_best, run_once(1, 1, res, nullptr));
-      reference = res;
-    }
-    // Serial telemetry reference: the dataset every telemetry-on run below
-    // must reproduce byte-identically, and the serial recording overhead.
+    run_once(1, 1, reference, nullptr);
     sim::TelemetryDataset reference_data;
-    double serial_telem_best = std::numeric_limits<double>::infinity();
-    for (int k = 0; k < std::max(1, repeats); ++k) {
+    {
       sim::Telemetry rec(sim::TelemetryConfig{cfg.telemetry_epoch_ns});
       sim::WorkloadResult res;
-      serial_telem_best = std::min(serial_telem_best, run_once(1, 1, res, &rec));
+      run_once(1, 1, res, &rec);
       if (!same_result(res, reference)) {
         std::cerr << "bench_sim_scaling: telemetry changed the serial result — "
                      "observational contract broken\n";
@@ -137,73 +156,72 @@ int main(int argc, char** argv) {
       }
       reference_data = rec.take_dataset();
     }
-    std::cerr << "serial: " << serial_best << " s  (mean goodput "
-              << reference.mean_flow_throughput << ", drops " << reference.packet_drops
-              << "; with telemetry " << serial_telem_best << " s)\n";
 
-    json::Object root;
-    root.emplace_back("benchmark", std::string("sim_scaling"));
-    root.emplace_back("switches", switches);
-    root.emplace_back("network_degree", degree);
-    root.emplace_back("ports", ports);
-    root.emplace_back("servers", topo.num_servers());
-    root.emplace_back("flows", static_cast<double>(tm.flows.size()));
-    root.emplace_back("measure_ms", measure_ms);
-    root.emplace_back("repeats", repeats);
-    root.emplace_back("hardware_concurrency", parallel::resolve_threads(0));
-    root.emplace_back("serial_best_seconds", serial_best);
-    root.emplace_back("serial_telemetry_best_seconds", serial_telem_best);
-
-    json::Array runs;
+    double serial_median = 0.0;
     for (int shards : {1, 2, 8}) {
       for (int threads : {1, 2, 4, 8}) {
         if (shards == 1 && threads > 1) continue;  // serial engine ignores threads
+        json::Object params;
+        params.emplace_back("shards", shards);
+        params.emplace_back("threads", threads);
+        obs::PerfPoint& point = record.add_point(
+            "shards=" + std::to_string(shards) + ",threads=" + std::to_string(threads),
+            std::move(params));
+
+        // Paired repeats: telemetry off, then on, back to back. The pair
+        // ratio (on_k / off_k - 1) cancels slow drift of the host; its
+        // median and MAD are the overhead estimate and its noise floor.
         sim::WorkloadResult res;
-        double best = std::numeric_limits<double>::infinity();
+        std::vector<double> telem_seconds;
+        std::vector<double> overhead_pcts;
         for (int k = 0; k < std::max(1, repeats); ++k) {
-          best = std::min(best, run_once(shards, threads, res, nullptr));
-        }
-        if (!same_result(res, reference)) {
-          std::cerr << "bench_sim_scaling: results diverged at shards " << shards
-                    << ", threads " << threads << " — determinism bug\n";
-          return 1;
-        }
-        // Telemetry-on pass: same run with the recorder attached. The
-        // result AND the recorded dataset must match the serial reference
-        // byte-for-byte; the wall-time gap is the recording overhead.
-        double telem_best = std::numeric_limits<double>::infinity();
-        for (int k = 0; k < std::max(1, repeats); ++k) {
+          obs::reset_metrics();
+          const double off = run_once(shards, threads, res, nullptr);
+          auto work = obs::snapshot_work(kWorkMetrics);
+          if (k == 0) {
+            point.work = std::move(work);
+          } else if (work != point.work) {
+            std::cerr << "bench_sim_scaling: work counters drifted across repeats at "
+                      << "shards " << shards << ", threads " << threads
+                      << " — determinism bug\n";
+            return 1;
+          }
+          if (!same_result(res, reference)) {
+            std::cerr << "bench_sim_scaling: results diverged at shards " << shards
+                      << ", threads " << threads << " — determinism bug\n";
+            return 1;
+          }
           sim::Telemetry rec(sim::TelemetryConfig{cfg.telemetry_epoch_ns});
-          telem_best = std::min(telem_best, run_once(shards, threads, res, &rec));
+          const double on = run_once(shards, threads, res, &rec);
           if (!same_result(res, reference) || !(rec.dataset() == reference_data)) {
             std::cerr << "bench_sim_scaling: telemetry run diverged at shards " << shards
                       << ", threads " << threads << " — determinism bug\n";
             return 1;
           }
+          point.wall_seconds.push_back(off);
+          telem_seconds.push_back(on);
+          if (off > 0) overhead_pcts.push_back(100.0 * (on / off - 1.0));
         }
-        const double speedup = best > 0 ? serial_best / best : 0.0;
-        const double overhead_pct = best > 0 ? 100.0 * (telem_best / best - 1.0) : 0.0;
-        std::cerr << "shards " << shards << " threads " << threads << ": " << best
-                  << " s  (speedup " << speedup << "x, telemetry " << telem_best
-                  << " s = " << overhead_pct << "% overhead)\n";
-        json::Object run;
-        run.emplace_back("shards", shards);
-        run.emplace_back("threads", threads);
-        run.emplace_back("best_seconds", best);
-        run.emplace_back("speedup_vs_serial", speedup);
-        run.emplace_back("telemetry_best_seconds", telem_best);
-        run.emplace_back("telemetry_overhead_pct", overhead_pct);
-        runs.emplace_back(json::Value(std::move(run)));
+
+        const obs::WallStats ws = obs::derive_wall_stats(point.wall_seconds);
+        if (shards == 1 && threads == 1) serial_median = ws.median_seconds;
+        const double speedup =
+            ws.median_seconds > 0 ? serial_median / ws.median_seconds : 0.0;
+        const obs::WallStats over = obs::derive_wall_stats(overhead_pcts);
+        std::cerr << "shards " << shards << " threads " << threads << ": median "
+                  << ws.median_seconds << " s  (speedup " << speedup
+                  << "x, telemetry overhead " << over.median_seconds << "% ± "
+                  << over.mad_seconds << "%)\n";
+        point.extra.emplace_back("speedup_vs_serial", speedup);
+        json::Array telem;
+        for (double s : telem_seconds) telem.emplace_back(s);
+        point.extra.emplace_back("telemetry_wall_seconds", json::Value(std::move(telem)));
+        point.extra.emplace_back("telemetry_overhead_pct", over.median_seconds);
+        point.extra.emplace_back("telemetry_overhead_mad_pct", over.mad_seconds);
       }
     }
-    root.emplace_back("runs", json::Value(std::move(runs)));
 
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) {
-      std::cerr << "bench_sim_scaling: cannot write '" << out_path << "'\n";
-      return 1;
-    }
-    out << json::Value(std::move(root)).dump(2) << "\n";
+    record.write(out_path);
     std::cerr << "wrote " << out_path << "\n";
     return 0;
   } catch (const std::exception& e) {

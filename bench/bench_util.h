@@ -1,0 +1,19 @@
+// Shared bench-driver plumbing for the performance observatory (README
+// "Performance observatory"): every bench stamps the commit identity into
+// its record's environment fingerprint, taken from --git-sha with a
+// JF_GIT_SHA environment fallback (what CI exports) — a binary cannot know
+// which commit it was built from.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace jf::bench {
+
+inline std::string resolve_git_sha(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  const char* env = std::getenv("JF_GIT_SHA");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace jf::bench

@@ -58,7 +58,7 @@ int usage(std::ostream& os, int code) {
         "                      [--format table|csv|json] [--quiet]\n"
         "                      [--cache-dir DIR] [--cache-budget-mb N]\n"
         "                      [--trace-out FILE] [--metrics-out FILE]\n"
-        "                      [--telemetry-out FILE]\n"
+        "                      [--telemetry-out FILE] [--stats-json FILE]\n"
         "      Execute the scenario (or sweep) and render the report.\n"
         "      --threads N   global worker budget shared by concurrent cells and\n"
         "                    within-cell solvers (0 = hardware concurrency);\n"
@@ -90,6 +90,10 @@ int usage(std::ostream& os, int code) {
         "                    packet_sim/flow_stats metric to produce cells; not\n"
         "                    combinable with --cache-dir (a cache hit would skip the\n"
         "                    simulation that records the data).\n"
+        "      --stats-json FILE  atomic machine-readable mirror of the stderr\n"
+        "                    [stats] line: same keys, times as plain seconds.\n"
+        "                    Works with --quiet (the line is suppressed, the\n"
+        "                    file is still written).\n"
         "  serve --queue DIR [--out-dir DIR] [--cache-dir DIR] [--cache-budget-mb N]\n"
         "                    [--threads N] [--poll-ms MS] [--once] [--quiet]\n"
         "                    [--trace-out FILE] [--metrics-out FILE]\n"
@@ -192,6 +196,61 @@ std::string telemetry_stats(const std::vector<eval::ScenarioTelemetry>& points) 
   return line;
 }
 
+// Machine-readable mirror of the [stats] line (--stats-json): same keys and
+// availability rules, but times are plain seconds instead of the "1.234s"
+// display form, so a harness never re-parses the human format. Key set
+// grows append-only, like the line it mirrors.
+json::Value stats_json(const eval::BatchStats& st, const store::ResultStore* store,
+                       double wall_secs,
+                       const std::vector<eval::ScenarioTelemetry>* telemetry) {
+  json::Object o;
+  o.emplace_back("cells", st.cells);
+  o.emplace_back("solved", st.solved);
+  o.emplace_back("memo_hits", st.memo_hits);
+  o.emplace_back("store_hits", st.store_hits);
+  if (store != nullptr) {
+    o.emplace_back("store_entries", static_cast<std::int64_t>(store->entry_count()));
+    o.emplace_back("store_bytes", static_cast<std::int64_t>(store->total_bytes()));
+  }
+  o.emplace_back("wall_seconds", wall_secs);
+  if (obs::metrics_enabled()) {
+    const obs::MetricsSnapshot snap = obs::collect_metrics();
+    json::Object phases;
+    auto phase = [&](const char* key, const char* dist) {
+      const obs::DistributionSnapshot* d = snap.find_distribution(dist);
+      if (d != nullptr && d->count > 0) {
+        phases.emplace_back(key, static_cast<double>(d->sum) / 1e9);
+      }
+    };
+    phase("t_warm", "engine.phase_warm_ns");
+    phase("t_cells", "engine.phase_cells_ns");
+    phase("t_solve", "engine.cell_solve_ns");
+    phase("t_mcf_sweep", "mcf.sweep_ns");
+    phase("t_mcf_apply", "mcf.apply_ns");
+    phase("t_store_get", "store.get_ns");
+    phase("t_store_put", "store.put_ns");
+    if (!phases.empty()) o.emplace_back("phases_seconds", json::Value(std::move(phases)));
+  }
+  if (telemetry != nullptr) {
+    std::vector<double> fct;
+    std::int64_t flows = 0;
+    double worst = 0.0;
+    for (const auto& p : *telemetry) {
+      for (const auto& c : p.cells) {
+        flows += static_cast<std::int64_t>(c.data.flows.size());
+        for (const auto& f : c.data.flows) fct.push_back(sim::fct_seconds(f));
+        worst = std::max(worst, sim::worst_link_utilization(c.data));
+      }
+    }
+    json::Object t;
+    t.emplace_back("flows", flows);
+    if (!fct.empty()) t.emplace_back("fct_p99_seconds", percentile(fct, 99.0));
+    t.emplace_back("worst_link_util", worst);
+    o.emplace_back("telemetry", json::Value(std::move(t)));
+  }
+  return json::Value(std::move(o));
+}
+
 // Zips the collected per-point telemetry with the sweep report's point
 // labels into the dump eval/serialize.h defines.
 eval::TelemetryDump build_telemetry_dump(const eval::SweepReport& report,
@@ -238,6 +297,7 @@ int cmd_run(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string telemetry_out;
+  std::string stats_json_out;
   int cache_budget_mb = 0;
   int threads = 0;
   int sim_shards = 0;
@@ -270,6 +330,8 @@ int cmd_run(int argc, char** argv) {
       metrics_out = value();
     } else if (arg == "--telemetry-out") {
       telemetry_out = value();
+    } else if (arg == "--stats-json") {
+      stats_json_out = value();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -326,7 +388,7 @@ int cmd_run(int argc, char** argv) {
   // Collection is purely observational (the report is byte-identical either
   // way — gated in tests and CI), so metrics default on whenever the stats
   // line will be shown or a dump was requested.
-  obs::set_metrics_enabled(!quiet || !metrics_out.empty());
+  obs::set_metrics_enabled(!quiet || !metrics_out.empty() || !stats_json_out.empty());
   obs::set_trace_enabled(!trace_out.empty());
   // detlint: ok(wall time feeds only the stderr [stats] line, never the report)
   const auto run_t0 = std::chrono::steady_clock::now();
@@ -337,6 +399,11 @@ int cmd_run(int argc, char** argv) {
     std::string line = stats_line(stats, store.get(), wall_secs);
     if (opts.telemetry != nullptr) line += telemetry_stats(telemetry);
     std::cerr << line << "\n";
+  }
+  if (!stats_json_out.empty()) {
+    common::write_file_atomic(
+        fs::path(stats_json_out),
+        stats_json(stats, store.get(), wall_secs, opts.telemetry).dump(2) + "\n");
   }
   export_observability(trace_out, metrics_out);
   if (!telemetry_out.empty()) {

@@ -1,0 +1,145 @@
+// Structured performance records — the schema every bench emits and the
+// perfwatch regression gate consumes (tools/perfwatch).
+//
+// A record (schema v1) carries three layers:
+//
+//   fingerprint  — everything that shapes wall time: compiler id, effective
+//                  optimization flags, build type, sanitizer config,
+//                  hardware_concurrency, CPU model, plus the git sha the
+//                  binary was built from. Two records' wall times are only
+//                  gated against each other when the fingerprints are
+//                  comparable (everything equal except the sha — the sha is
+//                  what *changed*); otherwise the comparison is advisory.
+//   points       — per bench point: every repeat's wall-time sample (never
+//                  just the best-of) with derived min/median/MAD, so a
+//                  consumer can tell a regression from measurement noise,
+//                  and a `work` block of deterministic counters snapshotted
+//                  from the obs::metrics registry (mcf.phases, sim.rounds,
+//                  store.hits, ...). Work counters are exact and
+//                  machine-independent — the repo's byte-identity contract —
+//                  so any drift is a real algorithmic change and can be
+//                  gated with zero noise even on a shared CI runner.
+//   meta         — free-form instance shape (switch count, degree, ...),
+//                  advisory context for humans and the history timeline.
+//
+// Records are written atomically (common::write_file_atomic) as strict JSON
+// (common/json), newline-terminated, byte-stable for fixed inputs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace jf::obs {
+
+inline constexpr int kPerfRecordSchemaVersion = 1;
+
+// Environment fingerprint of the running binary + host. Field order mirrors
+// the serialized layout.
+struct EnvFingerprint {
+  std::string compiler;    // e.g. "gcc 12.2.0"
+  std::string flags;       // effective CXX flags for the active build type
+  std::string build_type;  // CMake build type, e.g. "Release"
+  std::string sanitizer;   // JF_SANITIZE config, "" when uninstrumented
+  int hw_concurrency = 0;
+  std::string cpu_model;  // /proc/cpuinfo "model name", "" when unavailable
+  std::string git_sha;    // passed in by the caller (CI: the commit sha)
+
+  friend bool operator==(const EnvFingerprint&, const EnvFingerprint&) = default;
+};
+
+// Fingerprint of this process/host. `git_sha` is caller-provided (benches
+// take --git-sha, defaulting to the JF_GIT_SHA environment variable) because
+// a binary cannot know which commit it was built from.
+EnvFingerprint current_fingerprint(std::string git_sha);
+
+// Wall-time gating precondition: everything that shapes speed must match.
+// git_sha is deliberately excluded — it names the change under test.
+bool fingerprints_comparable(const EnvFingerprint& a, const EnvFingerprint& b);
+
+// Derived statistics over a point's wall-time samples. `mad_seconds` is the
+// median absolute deviation — the record's noise floor: a wall-time delta
+// well above it is signal, anything inside it is measurement jitter.
+struct WallStats {
+  int repeats = 0;
+  double min_seconds = 0.0;
+  double median_seconds = 0.0;
+  double mad_seconds = 0.0;
+};
+
+// min/median/MAD of `samples` (median of an even count averages the two
+// middle values). Empty input yields all zeros.
+WallStats derive_wall_stats(const std::vector<double>& samples);
+
+// One measured configuration of a benchmark.
+struct PerfPoint {
+  std::string label;           // unique within the record; compare key
+  json::Object params;         // the knobs this point varies (threads, ...)
+  std::vector<double> wall_seconds;  // every repeat, in run order
+  // Deterministic work counters, sorted by name. Exact equality across
+  // records is the blocking regression gate.
+  std::vector<std::pair<std::string, std::int64_t>> work;
+  json::Object extra;  // bench-specific derived values; advisory only
+};
+
+// Snapshot of named deterministic metrics from the live registry: a counter
+// name yields its merged value; a distribution name yields "<name>.count"
+// and "<name>.sum" (both order-independent); an unregistered name yields 0
+// so records keep a stable key set across code paths that skip a subsystem.
+// Sorted by name. Only schedule-independent metrics belong here — never the
+// *_ns timing distributions or the parallel.* scheduling counters.
+std::vector<std::pair<std::string, std::int64_t>> snapshot_work(
+    const std::vector<std::string>& names);
+
+// Builder for one schema-v1 record.
+class PerfRecorder {
+ public:
+  PerfRecorder(std::string benchmark, EnvFingerprint fingerprint);
+
+  // Appends (or replaces) a meta entry describing the instance shape.
+  void set_meta(const std::string& key, json::Value v);
+
+  // Adds a point; the reference stays valid for the recorder's lifetime
+  // (points live in a deque). Throws std::invalid_argument on a duplicate
+  // label.
+  PerfPoint& add_point(std::string label, json::Object params);
+
+  const std::deque<PerfPoint>& points() const { return points_; }
+  const EnvFingerprint& fingerprint() const { return fingerprint_; }
+
+  // The full record: schema_version, benchmark, fingerprint, meta, points
+  // (each with samples, derived wall stats, work, extra).
+  json::Value to_json() const;
+
+  // Atomic pretty-printed write, newline-terminated.
+  void write(const std::filesystem::path& path) const;
+
+ private:
+  std::string benchmark_;
+  EnvFingerprint fingerprint_;
+  json::Object meta_;
+  std::deque<PerfPoint> points_;
+};
+
+// Monotonic stopwatch for bench sample capture. Lives in obs/ so every
+// clock read the bench layer needs stays inside the sanctioned observability
+// layer (detlint's wall-clock rule).
+class WallTimer {
+ public:
+  WallTimer() : start_ns_(monotonic_ns()) {}
+  void restart() { start_ns_ = monotonic_ns(); }
+  double seconds() const {
+    return static_cast<double>(monotonic_ns() - start_ns_) / 1e9;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace jf::obs

@@ -1,0 +1,256 @@
+// obs/perfrec + tools/perfwatch: schema-v1 record round-trip, fingerprint
+// comparability rules, the compare verdict matrix (work drift blocks
+// unconditionally; wall time gates only between comparable fingerprints and
+// above the noise floor), and exact work-counter snapshot stability across
+// thread counts — the property that makes the counters a zero-noise CI gate.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "flow/mcf.h"
+#include "obs/metrics.h"
+#include "obs/perfrec.h"
+#include "perfwatch.h"
+#include "topo/jellyfish.h"
+#include "traffic/traffic.h"
+
+namespace jf {
+namespace {
+
+obs::EnvFingerprint test_fingerprint() {
+  obs::EnvFingerprint fp;
+  fp.compiler = "gcc 12";
+  fp.flags = "-O3";
+  fp.build_type = "Release";
+  fp.sanitizer = "";
+  fp.hw_concurrency = 4;
+  fp.cpu_model = "TestCPU";
+  fp.git_sha = "aaaa";
+  return fp;
+}
+
+// Builds a one-point record through the real recorder + parser so every
+// synthetic compare input also exercises the serialization round trip.
+perfwatch::Record make_record(const obs::EnvFingerprint& fp,
+                              const std::vector<double>& wall,
+                              std::vector<std::pair<std::string, std::int64_t>> work,
+                              const std::string& label = "p0") {
+  obs::PerfRecorder rec("bench", fp);
+  obs::PerfPoint& p = rec.add_point(label, {});
+  p.wall_seconds = wall;
+  p.work = std::move(work);
+  return perfwatch::parse_record(rec.to_json(), "mem");
+}
+
+TEST(PerfRec, WallStats) {
+  const obs::WallStats empty = obs::derive_wall_stats({});
+  EXPECT_EQ(empty.repeats, 0);
+  EXPECT_EQ(empty.median_seconds, 0.0);
+
+  // Even count: the median averages the two middle samples instead of
+  // promoting one of them, and the MAD is the median of the deviations.
+  const obs::WallStats s = obs::derive_wall_stats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.repeats, 4);
+  EXPECT_EQ(s.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.median_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(s.mad_seconds, 1.0);
+
+  const obs::WallStats odd = obs::derive_wall_stats({1.0, 10.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(odd.mad_seconds, 1.0);
+}
+
+TEST(PerfRec, FingerprintComparabilityIgnoresOnlyGitSha) {
+  const obs::EnvFingerprint base = test_fingerprint();
+  obs::EnvFingerprint other = base;
+  other.git_sha = "bbbb";
+  EXPECT_TRUE(obs::fingerprints_comparable(base, other));
+  EXPECT_FALSE(base == other);  // equality still sees the sha
+
+  // Every environment field breaks comparability on its own.
+  auto differs = [&](auto mutate) {
+    obs::EnvFingerprint fp = base;
+    mutate(fp);
+    return !obs::fingerprints_comparable(base, fp);
+  };
+  EXPECT_TRUE(differs([](auto& fp) { fp.compiler = "clang 17"; }));
+  EXPECT_TRUE(differs([](auto& fp) { fp.flags = "-O0"; }));
+  EXPECT_TRUE(differs([](auto& fp) { fp.build_type = "Debug"; }));
+  EXPECT_TRUE(differs([](auto& fp) { fp.sanitizer = "address"; }));
+  EXPECT_TRUE(differs([](auto& fp) { fp.hw_concurrency = 64; }));
+  EXPECT_TRUE(differs([](auto& fp) { fp.cpu_model = "OtherCPU"; }));
+}
+
+TEST(PerfRec, RecordRoundTripThroughJsonAndDisk) {
+  obs::PerfRecorder rec("mcf_scaling", test_fingerprint());
+  rec.set_meta("switches", json::Value(80));
+  json::Object params;
+  params.emplace_back("threads", 4);
+  obs::PerfPoint& p = rec.add_point("threads=4", std::move(params));
+  p.wall_seconds = {0.25, 0.125};
+  p.work = {{"mcf.phases", 140}, {"mcf.rounds", 280}};
+  p.extra.emplace_back("speedup_vs_serial", 1.5);
+
+  EXPECT_THROW(rec.add_point("threads=4", {}), std::invalid_argument);
+
+  const perfwatch::Record parsed = perfwatch::parse_record(rec.to_json(), "mem");
+  EXPECT_EQ(parsed.schema_version, obs::kPerfRecordSchemaVersion);
+  EXPECT_EQ(parsed.benchmark, "mcf_scaling");
+  EXPECT_TRUE(parsed.fingerprint == rec.fingerprint());
+  ASSERT_EQ(parsed.points.size(), 1u);
+  EXPECT_EQ(parsed.points[0].label, "threads=4");
+  EXPECT_EQ(parsed.points[0].wall_seconds, p.wall_seconds);
+  EXPECT_EQ(parsed.points[0].work, p.work);
+  // The parser recomputes wall stats from the samples rather than trusting
+  // the serialized block.
+  EXPECT_DOUBLE_EQ(parsed.points[0].wall.min_seconds, 0.125);
+  EXPECT_DOUBLE_EQ(parsed.points[0].wall.median_seconds, 0.1875);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("jf-test-perfrec-" + std::to_string(::getpid()) + ".json");
+  rec.write(path);
+  const perfwatch::Record loaded = perfwatch::load_record(path);
+  EXPECT_EQ(loaded.benchmark, parsed.benchmark);
+  ASSERT_EQ(loaded.points.size(), 1u);
+  EXPECT_EQ(loaded.points[0].work, parsed.points[0].work);
+  std::filesystem::remove(path);
+}
+
+TEST(Perfwatch, WorkDriftBlocksRegardlessOfFingerprint) {
+  const auto base = make_record(test_fingerprint(), {1.0}, {{"w", 10}});
+  obs::EnvFingerprint other_env = test_fingerprint();
+  other_env.cpu_model = "OtherCPU";
+  for (const auto& env : {test_fingerprint(), other_env}) {
+    const auto cand = make_record(env, {1.0}, {{"w", 11}});
+    const auto report = perfwatch::compare(base, cand, {});
+    ASSERT_EQ(report.points.size(), 1u);
+    EXPECT_EQ(report.points[0].verdict, perfwatch::Verdict::kWorkRegression);
+    EXPECT_TRUE(report.blocking);
+  }
+  // A renamed counter is drift too, not just a changed value.
+  const auto renamed = make_record(test_fingerprint(), {1.0}, {{"w2", 10}});
+  EXPECT_TRUE(perfwatch::compare(base, renamed, {}).blocking);
+}
+
+TEST(Perfwatch, WallVerdictMatrix) {
+  // Three identical samples: MAD 0, so the threshold is purely rel_pct.
+  const auto base = make_record(test_fingerprint(), {1.0, 1.0, 1.0}, {{"w", 10}});
+  const perfwatch::CompareOptions opts;  // rel_pct 10, noise_k 4, blocking wall
+
+  auto verdict_for = [&](std::vector<double> wall) {
+    const auto cand = make_record(test_fingerprint(), std::move(wall), {{"w", 10}});
+    return perfwatch::compare(base, cand, opts);
+  };
+
+  const auto slow = verdict_for({1.5, 1.5, 1.5});
+  EXPECT_EQ(slow.points[0].verdict, perfwatch::Verdict::kWallRegression);
+  EXPECT_TRUE(slow.blocking);
+
+  const auto noise = verdict_for({1.05, 1.05, 1.05});
+  EXPECT_EQ(noise.points[0].verdict, perfwatch::Verdict::kWithinNoise);
+  EXPECT_FALSE(noise.blocking);
+
+  const auto fast = verdict_for({0.5, 0.5, 0.5});
+  EXPECT_EQ(fast.points[0].verdict, perfwatch::Verdict::kImprovement);
+  EXPECT_FALSE(fast.blocking);
+
+  // --wall-advisory reports the regression without blocking.
+  perfwatch::CompareOptions advisory;
+  advisory.wall_advisory = true;
+  const auto cand = make_record(test_fingerprint(), {1.5, 1.5, 1.5}, {{"w", 10}});
+  const auto rep = perfwatch::compare(base, cand, advisory);
+  EXPECT_EQ(rep.points[0].verdict, perfwatch::Verdict::kWallRegression);
+  EXPECT_FALSE(rep.blocking);
+}
+
+TEST(Perfwatch, NoiseFloorWidensTheThreshold) {
+  // Baseline MAD 0.2 s on a 1 s median: the noise floor (4 x 0.2 = 0.8 s)
+  // dwarfs the 10% relative threshold, so a +50% median is still noise.
+  const auto base = make_record(test_fingerprint(), {0.8, 1.0, 1.4}, {{"w", 1}});
+  const auto cand = make_record(test_fingerprint(), {1.5, 1.5, 1.5}, {{"w", 1}});
+  const auto report = perfwatch::compare(base, cand, {});
+  EXPECT_EQ(report.points[0].verdict, perfwatch::Verdict::kWithinNoise);
+  EXPECT_FALSE(report.blocking);
+}
+
+TEST(Perfwatch, IncomparableFingerprintNeverGatesWallTime) {
+  const auto base = make_record(test_fingerprint(), {1.0, 1.0}, {{"w", 10}});
+  obs::EnvFingerprint env = test_fingerprint();
+  env.hw_concurrency = 64;
+  const auto cand = make_record(env, {10.0, 10.0}, {{"w", 10}});
+  const auto report = perfwatch::compare(base, cand, {});
+  EXPECT_FALSE(report.fingerprints_comparable);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.points[0].verdict, perfwatch::Verdict::kIncomparableFingerprint);
+  EXPECT_FALSE(report.blocking);
+}
+
+TEST(Perfwatch, MissingAndNewPoints) {
+  obs::PerfRecorder base_rec("bench", test_fingerprint());
+  obs::PerfPoint& a = base_rec.add_point("a", {});
+  a.wall_seconds = {1.0};
+  a.work = {{"w", 1}};
+  const auto base = perfwatch::parse_record(base_rec.to_json(), "mem");
+
+  obs::PerfRecorder cand_rec("bench", test_fingerprint());
+  obs::PerfPoint& b = cand_rec.add_point("b", {});
+  b.wall_seconds = {1.0};
+  b.work = {{"w", 1}};
+  const auto cand = perfwatch::parse_record(cand_rec.to_json(), "mem");
+
+  const auto report = perfwatch::compare(base, cand, {});
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_EQ(report.points[0].verdict, perfwatch::Verdict::kMissingPoint);
+  EXPECT_EQ(report.points[1].verdict, perfwatch::Verdict::kNewPoint);
+  EXPECT_TRUE(report.blocking);  // the missing point blocks; the new one is info
+}
+
+TEST(Perfwatch, BenchmarkNameMismatchThrows) {
+  obs::PerfRecorder other("other_bench", test_fingerprint());
+  obs::PerfPoint& p = other.add_point("a", {});
+  p.wall_seconds = {1.0};
+  const auto base = make_record(test_fingerprint(), {1.0}, {{"w", 1}}, "a");
+  EXPECT_THROW(perfwatch::compare(base, perfwatch::parse_record(other.to_json(), "mem"),
+                                  {}),
+               std::runtime_error);
+}
+
+// The property the CI gate rests on: the deterministic work counters are
+// exactly identical no matter how many workers ran the solve.
+TEST(PerfRec, WorkSnapshotIdenticalAcrossThreadCounts) {
+  obs::set_metrics_enabled(true);
+  Rng rng(42);
+  auto topo = topo::build_jellyfish(
+      {.num_switches = 24, .ports_per_switch = 8, .network_degree = 5}, rng);
+  auto tm = traffic::random_permutation(topo.num_servers(), rng);
+  auto cs = traffic::to_switch_commodities(topo, tm);
+  const std::vector<std::string> names = {"mcf.solves", "mcf.phases", "mcf.rounds"};
+
+  obs::reset_metrics();
+  (void)flow::max_concurrent_flow(topo.switches(), cs, {});
+  const auto serial = obs::snapshot_work(names);
+  ASSERT_EQ(serial.size(), 3u);
+  EXPECT_GT(serial[0].second, 0) << serial[0].first;
+
+  obs::reset_metrics();
+  parallel::WorkBudget budget(3);  // a 4-worker solve
+  (void)flow::max_concurrent_flow(topo.switches(), cs, {}, &budget);
+  const auto threaded = obs::snapshot_work(names);
+  EXPECT_EQ(serial, threaded);
+
+  // Absent names pin an explicit zero; distributions expand to .count/.sum.
+  const auto absent = obs::snapshot_work({"no.such.counter"});
+  ASSERT_EQ(absent.size(), 1u);
+  EXPECT_EQ(absent[0], (std::pair<std::string, std::int64_t>{"no.such.counter", 0}));
+  obs::reset_metrics();
+  obs::set_metrics_enabled(false);
+}
+
+}  // namespace
+}  // namespace jf

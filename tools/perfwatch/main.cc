@@ -1,0 +1,147 @@
+// perfwatch CLI — perf-record regression gate and history timeline.
+//
+//   perfwatch compare <baseline.json> <candidate.json>
+//             [--rel-pct P] [--noise-k K] [--wall-advisory]
+//   perfwatch history <record.json...> [--format csv|json] [--out FILE]
+//
+// compare prints one verdict line per bench point and exits 1 when any
+// blocking verdict fired: a work-counter drift or missing point always
+// blocks; a wall-time regression blocks only between comparable environment
+// fingerprints and without --wall-advisory (CI's shared runners pass
+// --wall-advisory and gate on the deterministic work counters alone).
+//
+// history flattens records (in argument order — pass them oldest first)
+// into one row per (record, point) for plotting the trajectory across PRs.
+//
+// Exit status: 0 clean, 1 blocking regression, 2 usage/IO error.
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "perfwatch.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: perfwatch compare <baseline.json> <candidate.json>\n"
+        "                 [--rel-pct P] [--noise-k K] [--wall-advisory]\n"
+        "       perfwatch history <record.json...> [--format csv|json] [--out FILE]\n"
+        "\n"
+        "compare: per-point verdicts over two schema-v1 perf records.\n"
+        "  Deterministic work counters must match exactly (any drift blocks);\n"
+        "  wall time is gated at max(--rel-pct %, --noise-k x MAD noise floor)\n"
+        "  when the environment fingerprints are comparable, advisory otherwise.\n"
+        "  --rel-pct P        minimum relative wall regression to block (default 10)\n"
+        "  --noise-k K        threshold multiplier over the noise floor (default 4)\n"
+        "  --wall-advisory    report wall regressions without blocking\n"
+        "history: one timeline row per (record, point), argument order preserved.\n"
+        "  --format F         csv (default) or json\n"
+        "  --out FILE         write atomically to FILE instead of stdout\n";
+  return code;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  jf::perfwatch::CompareOptions opts;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "perfwatch: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--rel-pct") {
+      opts.rel_pct = std::stod(value());
+    } else if (arg == "--noise-k") {
+      opts.noise_k = std::stod(value());
+    } else if (arg == "--wall-advisory") {
+      opts.wall_advisory = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "perfwatch: unknown compare option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "perfwatch: compare needs exactly <baseline> <candidate>\n";
+    return usage(std::cerr, 2);
+  }
+  const auto baseline = jf::perfwatch::load_record(paths[0]);
+  const auto candidate = jf::perfwatch::load_record(paths[1]);
+  const auto report = jf::perfwatch::compare(baseline, candidate, opts);
+  std::cout << jf::perfwatch::format_compare(report, opts);
+  return report.blocking ? 1 : 0;
+}
+
+int cmd_history(const std::vector<std::string>& args) {
+  std::string format = "csv";
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "perfwatch: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--format") {
+      format = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "perfwatch: unknown history option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "perfwatch: history needs at least one record\n";
+    return usage(std::cerr, 2);
+  }
+  if (format != "csv" && format != "json") {
+    std::cerr << "perfwatch: unknown --format '" << format << "' (csv or json)\n";
+    return 2;
+  }
+  std::vector<jf::perfwatch::Record> records;
+  for (const std::string& p : paths) records.push_back(jf::perfwatch::load_record(p));
+  const auto rows = jf::perfwatch::history(records);
+  const std::string rendered = format == "csv"
+                                   ? jf::perfwatch::history_csv(rows)
+                                   : jf::perfwatch::history_json(rows).dump(2) + "\n";
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    jf::common::write_file_atomic(fs::path(out_path), rendered);
+    std::cerr << "wrote " << rendered.size() << " bytes (" << format << ") to "
+              << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "history") return cmd_history(args);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(std::cout, 0);
+    std::cerr << "perfwatch: unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "perfwatch: error: " << e.what() << "\n";
+    return 2;
+  }
+}

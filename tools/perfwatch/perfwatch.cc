@@ -1,0 +1,337 @@
+#include "perfwatch.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/fs.h"
+
+namespace jf::perfwatch {
+
+namespace {
+
+// --- parsing ----------------------------------------------------------------
+
+[[noreturn]] void fail(const std::string& source, const std::string& msg) {
+  throw std::runtime_error((source.empty() ? std::string("perf record") : source) + ": " +
+                           msg);
+}
+
+const json::Value& member(const json::Value& v, const char* key,
+                          const std::string& source) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr) fail(source, std::string("missing key '") + key + "'");
+  return *m;
+}
+
+std::string opt_string(const json::Value& obj, const char* key) {
+  const json::Value* m = obj.find(key);
+  return m != nullptr && m->is_string() ? m->as_string() : std::string();
+}
+
+obs::EnvFingerprint parse_fingerprint(const json::Value& v, const std::string& source) {
+  if (!v.is_object()) fail(source, "'fingerprint' is not an object");
+  obs::EnvFingerprint fp;
+  fp.compiler = opt_string(v, "compiler");
+  fp.flags = opt_string(v, "flags");
+  fp.build_type = opt_string(v, "build_type");
+  fp.sanitizer = opt_string(v, "sanitizer");
+  const json::Value* hw = v.find("hardware_concurrency");
+  fp.hw_concurrency = hw != nullptr ? static_cast<int>(hw->as_int()) : 0;
+  fp.cpu_model = opt_string(v, "cpu_model");
+  fp.git_sha = opt_string(v, "git_sha");
+  return fp;
+}
+
+Point parse_point(const json::Value& v, const std::string& source) {
+  Point p;
+  p.label = member(v, "label", source).as_string();
+  const std::string ctx = source + " point '" + p.label + "'";
+  if (const json::Value* params = v.find("params"); params != nullptr) {
+    if (!params->is_object()) fail(ctx, "'params' is not an object");
+    p.params = params->as_object();
+  }
+  for (const json::Value& s : member(v, "wall_seconds", ctx).as_array()) {
+    p.wall_seconds.push_back(s.as_number());
+  }
+  p.wall = obs::derive_wall_stats(p.wall_seconds);
+  const json::Value& work = member(v, "work", ctx);
+  if (!work.is_object()) fail(ctx, "'work' is not an object");
+  for (const auto& [name, value] : work.as_object()) {
+    p.work.emplace_back(name, value.as_int());
+  }
+  std::sort(p.work.begin(), p.work.end());
+  for (std::size_t i = 1; i < p.work.size(); ++i) {
+    if (p.work[i].first == p.work[i - 1].first) {
+      fail(ctx, "duplicate work counter '" + p.work[i].first + "'");
+    }
+  }
+  return p;
+}
+
+// --- comparison helpers -----------------------------------------------------
+
+std::string format_pct(double pct) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  if (pct >= 0) os << "+";
+  os << pct << "%";
+  return os.str();
+}
+
+std::string format_secs(double secs) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << secs << "s";
+  return os.str();
+}
+
+// First differing work entry between two sorted counter lists; empty detail
+// when they are identical.
+std::string work_drift_detail(
+    const std::vector<std::pair<std::string, std::int64_t>>& base,
+    const std::vector<std::pair<std::string, std::int64_t>>& cand) {
+  std::size_t i = 0, j = 0;
+  while (i < base.size() || j < cand.size()) {
+    if (j == cand.size() || (i < base.size() && base[i].first < cand[j].first)) {
+      return "counter '" + base[i].first + "' missing from candidate (baseline " +
+             std::to_string(base[i].second) + ")";
+    }
+    if (i == base.size() || cand[j].first < base[i].first) {
+      return "counter '" + cand[j].first + "' new in candidate (" +
+             std::to_string(cand[j].second) + ")";
+    }
+    if (base[i].second != cand[j].second) {
+      return "counter '" + base[i].first + "': " + std::to_string(base[i].second) +
+             " -> " + std::to_string(cand[j].second);
+    }
+    ++i;
+    ++j;
+  }
+  return {};
+}
+
+}  // namespace
+
+// --- public API -------------------------------------------------------------
+
+Record parse_record(const json::Value& v, const std::string& source) {
+  if (!v.is_object()) fail(source, "record is not a JSON object");
+  Record r;
+  r.source = source;
+  r.schema_version = static_cast<int>(member(v, "schema_version", source).as_int());
+  if (r.schema_version != obs::kPerfRecordSchemaVersion) {
+    fail(source, "unsupported schema_version " + std::to_string(r.schema_version) +
+                     " (expected " + std::to_string(obs::kPerfRecordSchemaVersion) + ")");
+  }
+  r.benchmark = member(v, "benchmark", source).as_string();
+  r.fingerprint = parse_fingerprint(member(v, "fingerprint", source), source);
+  if (const json::Value* meta = v.find("meta"); meta != nullptr && meta->is_object()) {
+    r.meta = meta->as_object();
+  }
+  std::set<std::string> labels;
+  for (const json::Value& pv : member(v, "points", source).as_array()) {
+    Point p = parse_point(pv, source);
+    if (!labels.insert(p.label).second) {
+      fail(source, "duplicate point label '" + p.label + "'");
+    }
+    r.points.push_back(std::move(p));
+  }
+  return r;
+}
+
+Record load_record(const std::filesystem::path& path) {
+  const std::string display = path.generic_string();
+  try {
+    return parse_record(json::Value::parse(common::read_file(path)), display);
+  } catch (const json::ParseError& e) {
+    throw std::runtime_error(display + ":" + std::to_string(e.line) + ":" +
+                             std::to_string(e.column) + ": " + e.what());
+  }
+}
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kWorkRegression: return "work-regression";
+    case Verdict::kWallRegression: return "wall-regression";
+    case Verdict::kWithinNoise: return "within-noise";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kIncomparableFingerprint: return "incomparable-fingerprint";
+    case Verdict::kMissingPoint: return "missing-point";
+    case Verdict::kNewPoint: return "new-point";
+  }
+  return "unknown";
+}
+
+CompareReport compare(const Record& baseline, const Record& candidate,
+                      const CompareOptions& opts) {
+  if (baseline.benchmark != candidate.benchmark) {
+    throw std::runtime_error("benchmark mismatch: baseline '" + baseline.benchmark +
+                             "' vs candidate '" + candidate.benchmark + "'");
+  }
+  CompareReport report;
+  report.benchmark = baseline.benchmark;
+  report.fingerprints_comparable =
+      obs::fingerprints_comparable(baseline.fingerprint, candidate.fingerprint);
+
+  auto find_point = [](const Record& r, const std::string& label) -> const Point* {
+    for (const Point& p : r.points) {
+      if (p.label == label) return &p;
+    }
+    return nullptr;
+  };
+
+  for (const Point& base : baseline.points) {
+    PointVerdict pv;
+    pv.label = base.label;
+    pv.baseline_median = base.wall.median_seconds;
+    const Point* cand = find_point(candidate, base.label);
+    if (cand == nullptr) {
+      pv.verdict = Verdict::kMissingPoint;
+      pv.detail = "point absent from candidate record";
+      report.blocking = true;
+      report.points.push_back(std::move(pv));
+      continue;
+    }
+    pv.candidate_median = cand->wall.median_seconds;
+    if (pv.baseline_median > 0) {
+      pv.delta_pct =
+          100.0 * (pv.candidate_median - pv.baseline_median) / pv.baseline_median;
+    }
+
+    // 1. Work counters: exact, machine-independent, blocking on any drift.
+    const std::string drift = work_drift_detail(base.work, cand->work);
+    if (!drift.empty()) {
+      pv.verdict = Verdict::kWorkRegression;
+      pv.detail = drift;
+      report.blocking = true;
+      report.points.push_back(std::move(pv));
+      continue;
+    }
+
+    // 2. Wall time: gated only between comparable environments.
+    if (!report.fingerprints_comparable) {
+      pv.verdict = Verdict::kIncomparableFingerprint;
+      pv.detail = "work exact-match; wall " + format_pct(pv.delta_pct) +
+                  " advisory (environments differ)";
+      report.points.push_back(std::move(pv));
+      continue;
+    }
+    const double noise_floor = base.wall.mad_seconds + cand->wall.mad_seconds;
+    const double threshold_seconds =
+        std::max(opts.rel_pct / 100.0 * pv.baseline_median, opts.noise_k * noise_floor);
+    pv.threshold_pct = pv.baseline_median > 0
+                           ? 100.0 * threshold_seconds / pv.baseline_median
+                           : 0.0;
+    const double delta = pv.candidate_median - pv.baseline_median;
+    if (delta > threshold_seconds) {
+      pv.verdict = Verdict::kWallRegression;
+      pv.detail = format_secs(pv.baseline_median) + " -> " +
+                  format_secs(pv.candidate_median) + " (" + format_pct(pv.delta_pct) +
+                  ", threshold " + format_pct(pv.threshold_pct) + ")";
+      if (!opts.wall_advisory) report.blocking = true;
+    } else if (delta < -threshold_seconds) {
+      pv.verdict = Verdict::kImprovement;
+      pv.detail = format_secs(pv.baseline_median) + " -> " +
+                  format_secs(pv.candidate_median) + " (" + format_pct(pv.delta_pct) + ")";
+    } else {
+      pv.verdict = Verdict::kWithinNoise;
+      pv.detail = format_pct(pv.delta_pct) + " within threshold " +
+                  format_pct(pv.threshold_pct);
+    }
+    report.points.push_back(std::move(pv));
+  }
+
+  for (const Point& cand : candidate.points) {
+    if (find_point(baseline, cand.label) != nullptr) continue;
+    PointVerdict pv;
+    pv.label = cand.label;
+    pv.candidate_median = cand.wall.median_seconds;
+    pv.verdict = Verdict::kNewPoint;
+    pv.detail = "no baseline for this point";
+    report.points.push_back(std::move(pv));
+  }
+  return report;
+}
+
+std::string format_compare(const CompareReport& report, const CompareOptions& opts) {
+  std::ostringstream os;
+  os << "perfwatch compare: benchmark '" << report.benchmark << "', fingerprints "
+     << (report.fingerprints_comparable ? "comparable (wall gated)"
+                                        : "NOT comparable (wall advisory)")
+     << "\n";
+  int blocking_points = 0;
+  for (const PointVerdict& pv : report.points) {
+    const bool blocks =
+        pv.verdict == Verdict::kWorkRegression || pv.verdict == Verdict::kMissingPoint ||
+        (pv.verdict == Verdict::kWallRegression && !opts.wall_advisory);
+    blocking_points += blocks ? 1 : 0;
+    os << "  [" << verdict_name(pv.verdict) << "] " << pv.label << ": " << pv.detail;
+    if (pv.verdict == Verdict::kWallRegression && opts.wall_advisory) {
+      os << " (advisory)";
+    }
+    os << "\n";
+  }
+  os << "perfwatch: " << report.points.size() << " point(s), " << blocking_points
+     << " blocking -> " << (report.blocking ? "FAIL" : "ok") << "\n";
+  return os.str();
+}
+
+std::vector<HistoryRow> history(const std::vector<Record>& records) {
+  std::vector<HistoryRow> rows;
+  for (const Record& r : records) {
+    for (const Point& p : r.points) {
+      HistoryRow row;
+      row.source = r.source;
+      row.benchmark = r.benchmark;
+      row.git_sha = r.fingerprint.git_sha;
+      row.label = p.label;
+      row.wall = p.wall;
+      row.work = p.work;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::string history_csv(const std::vector<HistoryRow>& rows) {
+  std::ostringstream os;
+  os << "source,benchmark,git_sha,label,repeats,wall_min_s,wall_median_s,wall_mad_s,work\n";
+  for (const HistoryRow& r : rows) {
+    std::string work;
+    for (const auto& [name, value] : r.work) {
+      if (!work.empty()) work += ";";
+      work += name + "=" + std::to_string(value);
+    }
+    os << r.source << "," << r.benchmark << "," << r.git_sha << "," << r.label << ","
+       << r.wall.repeats << "," << json::number_to_string(r.wall.min_seconds) << ","
+       << json::number_to_string(r.wall.median_seconds) << ","
+       << json::number_to_string(r.wall.mad_seconds) << "," << work << "\n";
+  }
+  return os.str();
+}
+
+json::Value history_json(const std::vector<HistoryRow>& rows) {
+  json::Array arr;
+  for (const HistoryRow& r : rows) {
+    json::Object o;
+    o.emplace_back("source", r.source);
+    o.emplace_back("benchmark", r.benchmark);
+    o.emplace_back("git_sha", r.git_sha);
+    o.emplace_back("label", r.label);
+    o.emplace_back("repeats", r.wall.repeats);
+    o.emplace_back("wall_min_seconds", r.wall.min_seconds);
+    o.emplace_back("wall_median_seconds", r.wall.median_seconds);
+    o.emplace_back("wall_mad_seconds", r.wall.mad_seconds);
+    json::Object work;
+    for (const auto& [name, value] : r.work) work.emplace_back(name, value);
+    o.emplace_back("work", json::Value(std::move(work)));
+    arr.emplace_back(json::Value(std::move(o)));
+  }
+  return json::Value(std::move(arr));
+}
+
+}  // namespace jf::perfwatch

@@ -1,0 +1,125 @@
+// perfwatch — the repo's performance regression gate over obs::perfrec
+// records (schema v1; see src/obs/perfrec.h for what a record carries).
+//
+// Two operations:
+//
+//   compare(baseline, candidate) — per-point verdicts. The deterministic
+//   `work` block must match exactly: those counters (GK phases/rounds, sim
+//   rounds/events/hand-offs, store hits) are machine-independent by the
+//   repo's byte-identity contract, so ANY drift is a real algorithmic
+//   change and blocks regardless of where either record was captured. Wall
+//   time is gated only when the environment fingerprints are comparable,
+//   with threshold max(rel_pct% of baseline, noise_k x the records' summed
+//   MAD noise floor); on incomparable fingerprints (different machine,
+//   compiler, sanitizer, ...) the wall delta is reported as advisory.
+//
+//   history(records...) — a flat timeline (one row per record x point) for
+//   plotting the perf trajectory across commits, as CSV or JSON.
+//
+// The library is deliberately detlint-clean: no clocks, no direct file
+// writes (output goes to the caller / common::write_file_atomic).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/perfrec.h"
+
+namespace jf::perfwatch {
+
+// One parsed bench point: derived wall stats are recomputed from the raw
+// samples (the serialized `wall` block is for human readers; trusting it
+// would let a stale derivation skew verdicts).
+struct Point {
+  std::string label;
+  json::Object params;
+  std::vector<double> wall_seconds;
+  obs::WallStats wall;
+  std::vector<std::pair<std::string, std::int64_t>> work;  // sorted by name
+};
+
+struct Record {
+  int schema_version = 0;
+  std::string benchmark;
+  obs::EnvFingerprint fingerprint;
+  json::Object meta;
+  std::vector<Point> points;
+  std::string source;  // display path ("" when parsed from memory)
+};
+
+// Parses one schema-v1 record; throws std::runtime_error with context on a
+// malformed document, an unknown schema version, or duplicate point labels.
+Record parse_record(const json::Value& v, const std::string& source = "");
+
+// Reads + parses; errors name the path.
+Record load_record(const std::filesystem::path& path);
+
+// The per-point verdict matrix.
+enum class Verdict {
+  kWorkRegression,          // work counters drifted — blocking, always
+  kWallRegression,          // comparable fingerprints, slower past threshold
+  kWithinNoise,             // wall delta inside the threshold
+  kImprovement,             // comparable fingerprints, faster past threshold
+  kIncomparableFingerprint, // wall delta advisory: environments differ
+  kMissingPoint,            // baseline point absent from candidate — blocking
+  kNewPoint,                // candidate-only point — informational
+};
+std::string_view verdict_name(Verdict v);
+
+struct PointVerdict {
+  std::string label;
+  Verdict verdict = Verdict::kWithinNoise;
+  std::string detail;  // one-line human explanation
+  double baseline_median = 0.0;
+  double candidate_median = 0.0;
+  double delta_pct = 0.0;      // (candidate - baseline) / baseline * 100
+  double threshold_pct = 0.0;  // gate actually applied (0 when not gated)
+};
+
+struct CompareOptions {
+  double rel_pct = 10.0;  // minimum relative wall regression worth blocking
+  double noise_k = 4.0;   // threshold multiplier over the summed MADs
+  // Downgrades wall regressions from blocking to advisory (CI's shared
+  // runners gate on work counters only). Work drift always blocks.
+  bool wall_advisory = false;
+};
+
+struct CompareReport {
+  std::string benchmark;
+  bool fingerprints_comparable = false;
+  std::vector<PointVerdict> points;  // baseline order, then new points
+  bool blocking = false;             // any blocking verdict under the options
+};
+
+// Compares two records of the same benchmark (throws std::runtime_error on
+// a benchmark-name mismatch — that is operator error, not a regression).
+CompareReport compare(const Record& baseline, const Record& candidate,
+                      const CompareOptions& opts = {});
+
+// Human-readable per-point verdict lines + summary, newline-terminated.
+std::string format_compare(const CompareReport& report, const CompareOptions& opts);
+
+// One timeline row per (record, point), in input order — input order is the
+// caller's commit order.
+struct HistoryRow {
+  std::string source;
+  std::string benchmark;
+  std::string git_sha;
+  std::string label;
+  obs::WallStats wall;
+  std::vector<std::pair<std::string, std::int64_t>> work;
+};
+
+std::vector<HistoryRow> history(const std::vector<Record>& records);
+
+// CSV: one header + one line per row; work counters as "k=v;k=v" so the
+// column set is stable across benchmarks.
+std::string history_csv(const std::vector<HistoryRow>& rows);
+json::Value history_json(const std::vector<HistoryRow>& rows);
+
+}  // namespace jf::perfwatch
